@@ -1,0 +1,127 @@
+// Command alloc computes workload allocation vectors for a heterogeneous
+// system and compares the schemes analytically.
+//
+// Usage:
+//
+//	alloc -speeds 1,1.5,2,3,5,9,10 -rho 0.7 [-meansize 76.8]
+//
+// It prints, for each scheme (equal, weighted, optimized), the per-computer
+// fractions, per-computer utilizations, and the predicted mean response
+// time and response ratio under the M/M/1-PS model, plus the Theorem 1
+// objective values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heterosched/internal/alloc"
+	"heterosched/internal/queueing"
+	"heterosched/internal/report"
+)
+
+func main() {
+	speedsFlag := flag.String("speeds", "1,1.5,2,3,5,9,10", "comma-separated relative computer speeds")
+	rho := flag.Float64("rho", 0.7, "system utilization in [0,1)")
+	meanSize := flag.Float64("meansize", 76.8, "mean job size in seconds (sets the base service rate)")
+	flag.Parse()
+
+	speeds, err := parseSpeeds(*speedsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := queueing.SystemFromUtilization(speeds, *meanSize, *rho)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system: %d computers, aggregate speed %.4g, rho %.4g, lambda %.6g jobs/s\n\n",
+		sys.N(), sys.TotalSpeed(), *rho, sys.Lambda)
+
+	schemes := []alloc.Allocator{alloc.Equal{}, alloc.Proportional{}, alloc.Optimized{}}
+	summary := report.NewTable("predicted performance (M/M/1-PS model)",
+		"scheme", "mean resp time (s)", "mean resp ratio", "objective F")
+	for _, a := range schemes {
+		fr, err := a.Allocate(speeds, *rho)
+		if err != nil {
+			fmt.Printf("%s: infeasible at rho=%.4g: %v\n\n", a.Name(), *rho, err)
+			continue
+		}
+		printAllocation(sys, a.Name(), speeds, fr)
+		tbar, err := sys.MeanResponseTime(fr)
+		if err != nil {
+			fatal(err)
+		}
+		rbar, err := sys.MeanResponseRatio(fr)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := sys.Objective(fr)
+		if err != nil {
+			fatal(err)
+		}
+		summary.AddRow(schemeName(a), report.F(tbar), report.F(rbar), report.F(f))
+	}
+	if fstar, err := sys.TheoremOneMinimum(); err == nil {
+		summary.AddNote("Theorem 1 unconstrained minimum F* = %s", report.F(fstar))
+	}
+	if _, err := summary.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func schemeName(a alloc.Allocator) string {
+	switch a.(type) {
+	case alloc.Equal:
+		return "equal"
+	case alloc.Proportional:
+		return "weighted"
+	case alloc.Optimized:
+		return "optimized"
+	default:
+		return a.Name()
+	}
+}
+
+func printAllocation(sys *queueing.System, name string, speeds, fr []float64) {
+	t := report.NewTable(fmt.Sprintf("%s allocation", name), "computer", "speed", "fraction %", "utilization %")
+	rhos, err := sys.ServerUtilization(fr)
+	if err != nil {
+		fatal(err)
+	}
+	for i := range speeds {
+		t.AddRow(strconv.Itoa(i+1), report.F(speeds[i]), report.Pct(fr[i]), report.Pct(rhos[i]))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func parseSpeeds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	speeds := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad speed %q: %v", p, err)
+		}
+		speeds = append(speeds, v)
+	}
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("no speeds given")
+	}
+	return speeds, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alloc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseSpeedsAlloc(t *testing.T) {
+	got, err := parseSpeeds("1,1.5,2,3,5,9,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 || got[6] != 10 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := parseSpeeds(" , "); err == nil {
+		t.Error("blank speeds accepted")
+	}
+	if _, err := parseSpeeds("1;2"); err == nil {
+		t.Error("bad separator accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                     # every table and figure
+//	experiments -run fig3 -scale 0.1 -reps 5 # one figure, custom scale
+//	experiments -list                        # available experiments
+//
+// Scale 1.0 with 10 replications reproduces the paper's full methodology
+// (4×10⁶ simulated seconds per run); the default scale 0.05 regenerates
+// the shapes in minutes. Output is aligned text; -csv writes each table as
+// CSV to the given directory as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"heterosched/internal/experiments"
+	"heterosched/internal/plot"
+	"heterosched/internal/report"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's 4e6-second run length")
+	reps := flag.Int("reps", 3, "independent replications per data point (paper: 10)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	csvDir := flag.String("csv", "", "directory to also write per-table CSV files")
+	svgDir := flag.String("svg", "", "directory to write SVG figure panels (for experiments with charts)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Reps: *reps, Seed: *seed}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	names := experiments.Names()
+	if *run != "all" {
+		names = strings.Split(*run, ",")
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		out, err := experiments.RunByName(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for i, t := range out.Tables {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, name, i, t); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *svgDir != "" {
+			for i, c := range out.Charts {
+				if err := writeSVG(*svgDir, name, i, c); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func writeSVG(dir, name string, idx int, c *plot.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%c.svg", name, 'a'+idx))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteSVG(f)
+}
+
+func writeCSV(dir, name string, idx int, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", name, idx))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,170 @@
+// Command heterosim runs one job-scheduling simulation and reports the
+// paper's metrics.
+//
+// Usage:
+//
+//	heterosim -speeds 1,1,1,1,10,10 -rho 0.7 -policy ORR -duration 4e5 -reps 5
+//
+// Policies: WRAN, ORAN, WRR, ORR, LL (Dynamic Least-Load), LL* (instant
+// updates), ORR+e / ORR-e (load estimation error e%, e.g. ORR-10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/dist"
+	"heterosched/internal/report"
+	"heterosched/internal/sched"
+	"heterosched/internal/sim"
+	"heterosched/internal/trace"
+)
+
+func main() {
+	speedsFlag := flag.String("speeds", "1,1,1,1,10,10", "comma-separated relative computer speeds")
+	rho := flag.Float64("rho", 0.7, "system utilization in [0,1)")
+	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, ORR±e (e.g. ORR-10)")
+	duration := flag.Float64("duration", 4e5, "simulated seconds per replication (paper: 4e6)")
+	reps := flag.Int("reps", 3, "independent replications (paper: 10)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	cv := flag.Float64("cv", 3.0, "arrival inter-arrival coefficient of variation (1 = Poisson)")
+	expSizes := flag.Bool("expsizes", false, "use exponential job sizes instead of Bounded Pareto")
+	meanSize := flag.Float64("meansize", 76.8, "mean job size when -expsizes is set")
+	quantum := flag.Float64("quantum", 0, "if > 0, use quantum round-robin servers instead of PS")
+	traceFile := flag.String("trace", "", "write a per-job CSV trace of replication 0 to this file")
+	flag.Parse()
+
+	speeds, err := parseSpeeds(*speedsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := policyFactory(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cluster.Config{
+		Speeds:      speeds,
+		Utilization: *rho,
+		Duration:    *duration,
+		Seed:        *seed,
+		ArrivalCV:   *cv,
+	}
+	if *cv == 1 {
+		cfg.ExponentialArrivals = true
+	}
+	if *expSizes {
+		cfg.JobSize = dist.NewExponential(*meanSize)
+	}
+	if *quantum > 0 {
+		cfg.Discipline = cluster.RR
+		cfg.Quantum = *quantum
+	}
+
+	if *traceFile != "" {
+		// Trace replication 0 in a dedicated pass so the replicated runs
+		// below stay parallel and trace-free.
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		w := trace.NewWriter(f)
+		tcfg := cfg
+		tcfg.OnDeparture = func(j *sim.Job) { _ = w.Record(j) }
+		if _, err := cluster.Run(tcfg, factory()); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
+	}
+
+	res, err := cluster.RunReplications(cfg, factory, *reps)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy %s on %d computers at rho=%.4g (%d reps × %.4g s)\n\n",
+		res.Policy, len(speeds), *rho, *reps, *duration)
+	t := report.NewTable("metrics (mean ±95% CI across replications)", "metric", "value")
+	t.AddRow("mean response time (s)", report.MeanCI(res.MeanResponseTime.Mean, res.MeanResponseTime.CI95))
+	t.AddRow("mean response ratio", report.MeanCI(res.MeanResponseRatio.Mean, res.MeanResponseRatio.CI95))
+	t.AddRow("fairness (sd of ratio)", report.MeanCI(res.Fairness.Mean, res.Fairness.CI95))
+	r0 := res.Runs[0]
+	t.AddRow("resp ratio p50/p95/p99 (rep 0)",
+		fmt.Sprintf("%s / %s / %s", report.F(r0.RatioP50), report.F(r0.RatioP95), report.F(r0.RatioP99)))
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+
+	pt := report.NewTable("per-computer", "computer", "speed", "job share %", "utilization %")
+	for i := range speeds {
+		pt.AddRow(strconv.Itoa(i+1), report.F(speeds[i]),
+			report.Pct(res.JobFractions[i]), report.Pct(res.Utilizations[i]))
+	}
+	if _, err := pt.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// policyFactory parses a policy mnemonic into a factory.
+func policyFactory(name string) (cluster.PolicyFactory, error) {
+	switch strings.ToUpper(name) {
+	case "WRAN":
+		return func() cluster.Policy { return sched.WRAN() }, nil
+	case "ORAN":
+		return func() cluster.Policy { return sched.ORAN() }, nil
+	case "WRR":
+		return func() cluster.Policy { return sched.WRR() }, nil
+	case "ORR":
+		return func() cluster.Policy { return sched.ORR() }, nil
+	case "LL":
+		return func() cluster.Policy { return sched.NewLeastLoad() }, nil
+	case "LL*":
+		return func() cluster.Policy { return &sched.LeastLoad{Instant: true} }, nil
+	}
+	// ORR with estimation error, e.g. "ORR-10" or "ORR+5".
+	upper := strings.ToUpper(name)
+	if strings.HasPrefix(upper, "ORR") {
+		pct, err := strconv.ParseFloat(upper[3:], 64)
+		if err == nil {
+			rel := pct / 100
+			return func() cluster.Policy { return sched.ORRWithLoadErrorUnstable(rel) }, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func parseSpeeds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	speeds := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad speed %q: %v", p, err)
+		}
+		speeds = append(speeds, v)
+	}
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("no speeds given")
+	}
+	return speeds, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heterosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command plotcsv renders a sweep CSV (as written by cmd/experiments
+// -csv) into an SVG line chart. The first CSV column is the X axis; every
+// further column is one series.
+//
+// Usage:
+//
+//	plotcsv -in results_csv/fig3_1.csv -out fig3b.svg -title "Figure 3(b)" -ylabel "mean response ratio"
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"heterosched/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV path (first column = x, remaining columns = series)")
+	out := flag.String("out", "", "output SVG path")
+	title := flag.String("title", "", "chart title")
+	ylabel := flag.String("ylabel", "", "y axis label")
+	logy := flag.Bool("logy", false, "log-scale y axis")
+	width := flag.Int("width", 640, "SVG width")
+	height := flag.Int("height", 420, "SVG height")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "plotcsv: -in and -out are required")
+		os.Exit(2)
+	}
+
+	chart, err := chartFromCSV(*in, *title, *ylabel, *logy, *width, *height)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := chart.WriteSVG(f); err != nil {
+		fatal(err)
+	}
+}
+
+// chartFromCSV parses the CSV and assembles the chart.
+func chartFromCSV(path, title, ylabel string, logy bool, width, height int) (*plot.Chart, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 || len(rows[0]) < 2 {
+		return nil, fmt.Errorf("plotcsv: %s needs a header and at least one data row with 2+ columns", path)
+	}
+	header := rows[0]
+	nSeries := len(header) - 1
+	xs := make([]float64, 0, len(rows)-1)
+	ys := make([][]float64, nSeries)
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("plotcsv: ragged row %v", row)
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("plotcsv: bad x value %q: %v", row[0], err)
+		}
+		xs = append(xs, x)
+		for j := 0; j < nSeries; j++ {
+			y, err := strconv.ParseFloat(row[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("plotcsv: bad value %q in column %s: %v", row[j+1], header[j+1], err)
+			}
+			ys[j] = append(ys[j], y)
+		}
+	}
+	chart := &plot.Chart{
+		Title:  title,
+		XLabel: header[0],
+		YLabel: ylabel,
+		LogY:   logy,
+		Width:  width,
+		Height: height,
+	}
+	for j := 0; j < nSeries; j++ {
+		chart.Series = append(chart.Series, plot.Series{
+			Name: header[j+1],
+			X:    xs,
+			Y:    ys[j],
+		})
+	}
+	return chart, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plotcsv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestChartFromCSV(t *testing.T) {
+	path := writeTemp(t, "utilization,ORR,WRR\n0.3,0.22,0.43\n0.5,0.43,0.59\n0.9,2.6,3.2\n")
+	c, err := chartFromCSV(path, "t", "y", false, 640, 420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	if c.Series[0].Name != "ORR" || c.Series[1].Name != "WRR" {
+		t.Errorf("series names: %v, %v", c.Series[0].Name, c.Series[1].Name)
+	}
+	if c.XLabel != "utilization" {
+		t.Errorf("xlabel = %q", c.XLabel)
+	}
+	if len(c.Series[0].X) != 3 || c.Series[1].Y[2] != 3.2 {
+		t.Errorf("data wrong: %+v", c.Series)
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("no svg output")
+	}
+}
+
+func TestChartFromCSVErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"x\n1\n",        // single column
+		"x,y\n",         // header only
+		"x,y\nfoo,1\n",  // bad x
+		"x,y\n1,bar\n",  // bad y
+		"x,y\n1,2\n3\n", // ragged (csv reader errors)
+	}
+	for i, content := range cases {
+		path := writeTemp(t, content)
+		if _, err := chartFromCSV(path, "", "", false, 640, 420); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := chartFromCSV("/does/not/exist.csv", "", "", false, 640, 420); err == nil {
+		t.Error("missing file accepted")
+	}
+}

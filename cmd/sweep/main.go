@@ -1,0 +1,189 @@
+// Command sweep runs a utilization sweep for a set of policies on an
+// arbitrary cluster and prints the three paper metrics per point — the
+// general-purpose version of the fig5 harness.
+//
+// Usage:
+//
+//	sweep -speeds 1,1,2,10 -policies ORR,WRR,LL -from 0.3 -to 0.9 -step 0.1 \
+//	      -duration 2e5 -reps 3 [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/report"
+	"heterosched/internal/sched"
+)
+
+func main() {
+	speedsFlag := flag.String("speeds", "1,1,2,10", "comma-separated relative computer speeds")
+	policiesFlag := flag.String("policies", "WRAN,ORAN,WRR,ORR,LL", "comma-separated policies")
+	from := flag.Float64("from", 0.3, "first utilization")
+	to := flag.Float64("to", 0.9, "last utilization (inclusive)")
+	step := flag.Float64("step", 0.1, "utilization step")
+	duration := flag.Float64("duration", 2e5, "simulated seconds per replication")
+	reps := flag.Int("reps", 3, "replications per point")
+	seed := flag.Uint64("seed", 1, "root seed")
+	cv := flag.Float64("cv", 3.0, "arrival CV (1 = Poisson)")
+	csvPath := flag.String("csv", "", "also write the response-ratio table as CSV")
+	flag.Parse()
+
+	speeds, err := parseFloats(*speedsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	names := strings.Split(*policiesFlag, ",")
+	factories := make([]cluster.PolicyFactory, 0, len(names))
+	clean := make([]string, 0, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		f, err := policyFactory(n)
+		if err != nil {
+			fatal(err)
+		}
+		factories = append(factories, f)
+		clean = append(clean, n)
+	}
+
+	rhos := sweepValues(*from, *to, *step)
+	if len(rhos) == 0 {
+		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
+	}
+
+	tables, csvTable, err := runSweep(speeds, rhos, clean, factories, *duration, *reps, *seed, *cv)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := csvTable.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// sweepValues enumerates from..to by step (inclusive, with rounding slop).
+func sweepValues(from, to, step float64) []float64 {
+	if step <= 0 || to < from {
+		return nil
+	}
+	var out []float64
+	for x := from; x <= to+step/1e6; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// runSweep executes the sweep and renders the three metric tables; the
+// second return is the response-ratio table (for CSV output).
+func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
+	duration float64, reps int, seed uint64, cv float64,
+) ([]*report.Table, *report.Table, error) {
+	headers := append([]string{"rho"}, names...)
+	ratio := report.NewTable("mean response ratio", headers...)
+	timeT := report.NewTable("mean response time (s)", headers...)
+	fair := report.NewTable("fairness (sd of response ratio)", headers...)
+	for _, rho := range rhos {
+		rowR := []string{report.F(rho)}
+		rowT := []string{report.F(rho)}
+		rowF := []string{report.F(rho)}
+		for _, f := range factories {
+			cfg := cluster.Config{
+				Speeds:      speeds,
+				Utilization: rho,
+				Duration:    duration,
+				Seed:        seed,
+				ArrivalCV:   cv,
+			}
+			if cv == 1 {
+				cfg.ExponentialArrivals = true
+			}
+			res, err := cluster.RunReplications(cfg, f, reps)
+			if err != nil {
+				return nil, nil, err
+			}
+			rowR = append(rowR, report.F(res.MeanResponseRatio.Mean))
+			rowT = append(rowT, report.F(res.MeanResponseTime.Mean))
+			rowF = append(rowF, report.F(res.Fairness.Mean))
+		}
+		ratio.AddRow(rowR...)
+		timeT.AddRow(rowT...)
+		fair.AddRow(rowF...)
+	}
+	note := fmt.Sprintf("%d replications × %.3g s per point, arrival CV %.3g", reps, duration, cv)
+	ratio.AddNote("%s", note)
+	return []*report.Table{timeT, ratio, fair}, ratio, nil
+}
+
+// policyFactory mirrors cmd/heterosim's policy parser.
+func policyFactory(name string) (cluster.PolicyFactory, error) {
+	switch strings.ToUpper(name) {
+	case "WRAN":
+		return func() cluster.Policy { return sched.WRAN() }, nil
+	case "ORAN":
+		return func() cluster.Policy { return sched.ORAN() }, nil
+	case "WRR":
+		return func() cluster.Policy { return sched.WRR() }, nil
+	case "ORR":
+		return func() cluster.Policy { return sched.ORR() }, nil
+	case "LL":
+		return func() cluster.Policy { return sched.NewLeastLoad() }, nil
+	case "JSQ2":
+		return func() cluster.Policy { return sched.NewPowerOfTwo() }, nil
+	}
+	upper := strings.ToUpper(name)
+	if strings.HasPrefix(upper, "ORRCAP") {
+		v, err := strconv.ParseFloat(upper[6:], 64)
+		if err == nil {
+			return func() cluster.Policy { return sched.ORRCapped(v) }, nil
+		}
+	}
+	if strings.HasPrefix(upper, "ORR") {
+		pct, err := strconv.ParseFloat(upper[3:], 64)
+		if err == nil {
+			rel := pct / 100
+			return func() cluster.Policy { return sched.ORRWithLoadErrorUnstable(rel) }, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"heterosched/internal/cluster"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSweepValues(t *testing.T) {
+	got := sweepValues(0.3, 0.9, 0.2)
+	want := []float64{0.3, 0.5, 0.7, 0.9}
+	if len(got) != len(want) {
+		t.Fatalf("values = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("value[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if sweepValues(0.9, 0.3, 0.1) != nil {
+		t.Error("inverted range accepted")
+	}
+	if sweepValues(0.3, 0.9, 0) != nil {
+		t.Error("zero step accepted")
+	}
+	if got := sweepValues(0.5, 0.5, 0.1); len(got) != 1 {
+		t.Errorf("single point = %v", got)
+	}
+}
+
+func TestSweepPolicyFactory(t *testing.T) {
+	cases := map[string]string{
+		"ORR":      "ORR",
+		"ll":       "LL",
+		"JSQ2":     "JSQ(2)",
+		"ORRcap.8": "ORRcap(0.8)",
+		"ORR-10":   "ORR(-10%)",
+	}
+	for in, want := range cases {
+		f, err := policyFactory(in)
+		if err != nil {
+			t.Errorf("policyFactory(%q): %v", in, err)
+			continue
+		}
+		if got := f().Name(); got != want {
+			t.Errorf("policyFactory(%q).Name() = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := policyFactory("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunSweepSmoke(t *testing.T) {
+	names := []string{"ORR", "WRR"}
+	var factories []cluster.PolicyFactory
+	for _, n := range names {
+		f, err := policyFactory(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factories = append(factories, f)
+	}
+	tables, csvT, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
+		5000, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	out := csvT.String()
+	if !strings.Contains(out, "ORR") || !strings.Contains(out, "0.6") {
+		t.Errorf("csv table missing content:\n%s", out)
+	}
+}

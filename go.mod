@@ -1,0 +1,3 @@
+module heterosched
+
+go 1.22

@@ -1,0 +1,138 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"heterosched/internal/numeric"
+)
+
+// CappedOptimized minimizes the paper's objective F subject to the extra
+// constraint that no computer's utilization exceeds MaxUtilization:
+//
+//	minimize   Σ s_iμ/(s_iμ − α_iλ)
+//	subject to Σα_i = 1,  0 ≤ α_i,  α_iλ ≤ ρmax·s_iμ.
+//
+// The pure optimized scheme (Algorithm 1) runs the fastest computers much
+// hotter than the system average — e.g. at system load 0.7 the fastest
+// machine of the paper's base configuration sits at ~0.81 utilization.
+// Under bursty (CV > 1) arrivals that hot spot is exactly where the
+// M/M/1 model underestimates delay (see the ext-cv experiment), so
+// capping per-computer utilization trades a little nominal optimality for
+// robustness.
+//
+// The KKT conditions give a water-filling form: for multiplier ν > 0,
+//
+//	α_i(ν) = clip( (s_iμ − √(s_iμ·λ/ν)) / λ,  0,  ρmax·s_iμ/λ ),
+//
+// and Σα_i(ν) is continuous and non-decreasing in ν, so the multiplier
+// solving Σα = 1 is found by bisection.
+type CappedOptimized struct {
+	// MaxUtilization is the per-computer utilization ceiling ρmax in
+	// (0, 1]; it must be at least the system utilization or no feasible
+	// allocation exists. Zero means 1 (no cap; identical to Optimized).
+	MaxUtilization float64
+}
+
+// Name identifies the allocator, including its cap.
+func (c CappedOptimized) Name() string {
+	if c.MaxUtilization == 0 || c.MaxUtilization >= 1 {
+		return "Ocap"
+	}
+	return fmt.Sprintf("Ocap(%.2g)", c.MaxUtilization)
+}
+
+// Allocate computes the capped optimized allocation.
+func (c CappedOptimized) Allocate(speeds []float64, rho float64) ([]float64, error) {
+	if err := validate(speeds, rho); err != nil {
+		return nil, err
+	}
+	rhoMax := c.MaxUtilization
+	if rhoMax == 0 {
+		rhoMax = 1
+	}
+	if rhoMax <= 0 || rhoMax > 1 {
+		return nil, fmt.Errorf("alloc: MaxUtilization %v outside (0,1]", c.MaxUtilization)
+	}
+	if rhoMax < rho {
+		// Σ caps = ρmax Σ s_iμ / λ = ρmax/ρ < 1: infeasible.
+		return nil, fmt.Errorf("%w: per-computer cap %v below system utilization %v",
+			ErrInfeasible, rhoMax, rho)
+	}
+	if rho == 0 {
+		return fastestSplit(speeds), nil
+	}
+
+	// Normalize μ = 1: λ = ρ Σs.
+	lambda := rho * sumOf(speeds)
+	caps := make([]float64, len(speeds))
+	for i, s := range speeds {
+		caps[i] = rhoMax * s / lambda
+	}
+	// Σcaps = ρmax/ρ. When the caps barely exceed the demand the
+	// feasible set collapses to (a neighborhood of) the proportional
+	// point and the KKT multiplier diverges; return the proportional
+	// allocation directly.
+	if rhoMax/rho < 1+1e-9 {
+		return Proportional{}.Allocate(speeds, rho)
+	}
+
+	alphaAt := func(nu float64) (alpha []float64, sum float64) {
+		alpha = make([]float64, len(speeds))
+		for i, s := range speeds {
+			a := (s - math.Sqrt(s*lambda/nu)) / lambda
+			if a < 0 {
+				a = 0
+			} else if a > caps[i] {
+				a = caps[i]
+			}
+			alpha[i] = a
+			sum += a
+		}
+		return alpha, sum
+	}
+
+	// Bracket the multiplier: Σα(ν) is non-decreasing, → 0 as ν → 0 and
+	// → Σcaps ≥ 1 as ν → ∞.
+	lo, hi := 1e-18, 1.0
+	for iter := 0; ; iter++ {
+		if _, s := alphaAt(hi); s >= 1-1e-12 {
+			break
+		}
+		hi *= 4
+		if iter > 400 {
+			return nil, errors.New("alloc: capped optimizer failed to bracket the multiplier")
+		}
+	}
+	gap := func(nu float64) float64 {
+		_, s := alphaAt(nu)
+		return s - 1
+	}
+	nu, err := numeric.Bisect(gap, lo, hi, 0, 200)
+	if err != nil && !errors.Is(err, numeric.ErrNoConvergence) {
+		return nil, fmt.Errorf("alloc: capped optimizer: %w", err)
+	}
+	alpha, sum := alphaAt(nu)
+	// Polish the residual onto unclipped coordinates so Σα = 1 exactly.
+	if residual := 1 - sum; residual != 0 {
+		for i := range alpha {
+			adjusted := alpha[i] + residual
+			if adjusted >= 0 && adjusted <= caps[i] {
+				alpha[i] = adjusted
+				break
+			}
+		}
+	}
+	// The cap ρmax ≤ 1 keeps every computer at or below full utilization;
+	// when ρmax == 1 a capped coordinate would sit exactly at saturation,
+	// so nudge strictly inside for the queueing formulas.
+	if rhoMax == 1 {
+		for i := range alpha {
+			if alpha[i]*lambda >= speeds[i] {
+				alpha[i] = (1 - 1e-12) * speeds[i] / lambda
+			}
+		}
+	}
+	return alpha, nil
+}

@@ -1,0 +1,47 @@
+package alloc_test
+
+import (
+	"fmt"
+
+	"heterosched/internal/alloc"
+)
+
+// The paper's core result: at moderate load, the optimized allocation
+// sends a disproportionately high share to the fast computer and may shut
+// slow computers out entirely.
+func ExampleOptimized() {
+	speeds := []float64{1, 1, 10} // two slow machines, one 10× machine
+	for _, rho := range []float64{0.2, 0.7, 0.95} {
+		fractions, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("rho=%.2f  slow=%.3f slow=%.3f fast=%.3f\n",
+			rho, fractions[0], fractions[1], fractions[2])
+	}
+	// Output:
+	// rho=0.20  slow=0.000 slow=0.000 fast=1.000
+	// rho=0.70  slow=0.036 slow=0.036 fast=0.928
+	// rho=0.95  slow=0.078 slow=0.078 fast=0.845
+}
+
+// Proportional is the traditional weighted scheme: shares follow speeds
+// regardless of load.
+func ExampleProportional() {
+	fractions, _ := alloc.Proportional{}.Allocate([]float64{1, 1, 10}, 0.7)
+	fmt.Printf("%.3f %.3f %.3f\n", fractions[0], fractions[1], fractions[2])
+	// Output:
+	// 0.083 0.083 0.833
+}
+
+// WithEstimationError models a scheduler that misjudges the system load
+// (the paper's §5.4): overestimating is conservative.
+func ExampleWithEstimationError() {
+	exact, _ := alloc.Optimized{}.Allocate([]float64{1, 10}, 0.6)
+	over, _ := alloc.WithEstimationError{Base: alloc.Optimized{}, Err: +0.10}.
+		Allocate([]float64{1, 10}, 0.6)
+	fmt.Printf("exact fast share %.3f, assuming +10%% load %.3f\n", exact[1], over[1])
+	// Output:
+	// exact fast share 1.000, assuming +10% load 0.986
+}

@@ -1,0 +1,691 @@
+// Package cluster implements the paper's system model (Figure 1): jobs
+// arrive at a central scheduler that dispatches them, without
+// rescheduling, to one of n computers with different speeds; each computer
+// runs its jobs under preemptive processor scheduling to completion.
+//
+// The package provides the workload generator (§4.1 defaults: Bounded
+// Pareto job sizes with mean 76.8 s, two-stage hyperexponential arrivals
+// with CV 3), warm-up truncation (first quarter of the run), the three
+// paper metrics (mean response time, mean response ratio, fairness = the
+// standard deviation of the response ratio), per-computer accounting used
+// by Table 1 and Figure 2, and a replication runner that executes
+// independent seeded runs in parallel and aggregates them with confidence
+// intervals.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"heterosched/internal/dist"
+	"heterosched/internal/rng"
+	"heterosched/internal/sim"
+	"heterosched/internal/stats"
+)
+
+// Discipline selects the processor-scheduling model for every computer.
+type Discipline int
+
+const (
+	// PS is exact processor sharing (the analysis model; default).
+	PS Discipline = iota
+	// RR is quantum-based preemptive round-robin (§4.1's literal
+	// discipline); set Config.Quantum.
+	RR
+	// FCFS serves jobs to completion in arrival order (contrast model).
+	FCFS
+)
+
+// String returns the discipline mnemonic.
+func (d Discipline) String() string {
+	switch d {
+	case PS:
+		return "PS"
+	case RR:
+		return "RR"
+	case FCFS:
+		return "FCFS"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Speeds are the computers' relative speeds (all > 0).
+	Speeds []float64
+	// Utilization is the offered load ρ = λ/(μ Σ s_i), in [0, 1).
+	Utilization float64
+	// JobSize is the service-demand distribution; nil means the paper
+	// default Bounded Pareto B(10, 21600, 1.0), mean 76.8 s.
+	JobSize dist.Distribution
+	// ArrivalCV is the coefficient of variation of inter-arrival times.
+	// Values > 1 use a balanced-means two-stage hyperexponential; exactly
+	// 1 (or 0, meaning "default") uses the paper default CV of 3.0. Set
+	// ExponentialArrivals for a Poisson process.
+	ArrivalCV float64
+	// ExponentialArrivals forces a Poisson arrival process (CV = 1).
+	ExponentialArrivals bool
+	// Duration is the total simulated time in seconds (default 4.0e6, the
+	// paper's run length).
+	Duration float64
+	// WarmupFraction is the fraction of Duration treated as start-up and
+	// excluded from job statistics. Zero means the paper default 0.25
+	// (the first quarter of the run); pass a negative value for no
+	// warm-up at all. Jobs are counted if they *arrive* after the
+	// warm-up.
+	WarmupFraction float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Discipline selects the server model (default PS).
+	Discipline Discipline
+	// Quantum is the RR slice length in seconds (required for RR).
+	Quantum float64
+	// DeviationInterval, when positive, records the workload allocation
+	// deviation (Figure 2) over consecutive intervals of this many
+	// seconds, starting at time 0.
+	DeviationInterval float64
+	// Drain, when true, keeps the simulation running after Duration until
+	// all admitted jobs complete, so no job's response time is lost. When
+	// false, jobs still in service at Duration are discarded (the paper's
+	// approach is immaterial at its run lengths; Drain defaults to true).
+	Drain *bool
+	// OnDeparture, when non-nil, is invoked for every post-warm-up job at
+	// its completion time (e.g. to write a job trace). The callback must
+	// not retain the job past the call.
+	OnDeparture func(*sim.Job)
+	// Replay, when non-empty, drives arrivals from this trace (sorted by
+	// ascending Arrival) instead of the synthetic generators: JobSize,
+	// ArrivalCV and ExponentialArrivals are ignored, and Duration
+	// defaults to the last trace arrival. Utilization is still passed to
+	// the policy (static allocators need the offered load); set it to the
+	// trace's measured utilization.
+	Replay []ReplayJob
+	// Arrivals, when non-nil, overrides the default renewal arrival
+	// process (H2 with ArrivalCV) with a custom one, e.g.
+	// SinusoidalPoisson for nonstationarity studies. Job sizes still come
+	// from JobSize; Utilization is what the policy is told, and should be
+	// set to Arrivals.MeanRate()·E[size]/Σspeeds for consistency.
+	// Ignored when Replay is set.
+	Arrivals ArrivalProcess
+}
+
+// ReplayJob is one recorded arrival for trace-driven simulation.
+type ReplayJob struct {
+	// Arrival is the absolute arrival time in seconds.
+	Arrival float64
+	// Size is the job's service demand at speed 1.
+	Size float64
+}
+
+// withDefaults returns a copy of c with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.JobSize == nil {
+		c.JobSize = dist.PaperJobSize()
+	}
+	if c.ArrivalCV == 0 {
+		c.ArrivalCV = 3.0
+	}
+	if c.Duration == 0 {
+		if len(c.Replay) > 0 {
+			c.Duration = c.Replay[len(c.Replay)-1].Arrival
+		} else {
+			c.Duration = 4.0e6
+		}
+	}
+	switch {
+	case c.WarmupFraction == 0:
+		c.WarmupFraction = 0.25
+	case c.WarmupFraction < 0:
+		c.WarmupFraction = 0
+	}
+	if c.Drain == nil {
+		d := true
+		c.Drain = &d
+	}
+	return c
+}
+
+// validate reports configuration errors.
+func (c Config) validate() error {
+	if len(c.Speeds) == 0 {
+		return errors.New("cluster: no computers")
+	}
+	for i, s := range c.Speeds {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return fmt.Errorf("cluster: speed[%d] = %v invalid", i, s)
+		}
+	}
+	if c.Utilization < 0 || c.Utilization >= 1 || math.IsNaN(c.Utilization) {
+		return fmt.Errorf("cluster: utilization %v outside [0,1)", c.Utilization)
+	}
+	if c.ArrivalCV < 1 {
+		return fmt.Errorf("cluster: arrival CV %v < 1 not representable by H2", c.ArrivalCV)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("cluster: duration %v invalid", c.Duration)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("cluster: warmup fraction %v outside [0,1)", c.WarmupFraction)
+	}
+	if c.Discipline == RR && !(c.Quantum > 0) {
+		return fmt.Errorf("cluster: RR discipline requires positive quantum, got %v", c.Quantum)
+	}
+	for i, r := range c.Replay {
+		if !(r.Size > 0) {
+			return fmt.Errorf("cluster: replay job %d has non-positive size %v", i, r.Size)
+		}
+		if r.Arrival < 0 || (i > 0 && r.Arrival < c.Replay[i-1].Arrival) {
+			return fmt.Errorf("cluster: replay arrivals not sorted ascending at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Lambda returns the system arrival rate implied by the configuration.
+func (c Config) Lambda() float64 {
+	cc := c.withDefaults()
+	total := 0.0
+	for _, s := range cc.Speeds {
+		total += s
+	}
+	return cc.Utilization * total / cc.JobSize.Mean()
+}
+
+// Mu returns the base-line service rate 1/E[job size].
+func (c Config) Mu() float64 {
+	cc := c.withDefaults()
+	return 1 / cc.JobSize.Mean()
+}
+
+// Context is the simulation context handed to a Policy at initialization.
+type Context struct {
+	// Engine is the run's event engine; policies may schedule events
+	// (e.g. delayed load updates).
+	Engine *sim.Engine
+	// Speeds are the computers' relative speeds.
+	Speeds []float64
+	// Utilization is the true offered load ρ.
+	Utilization float64
+	// Lambda and Mu are the arrival and base-line service rates.
+	Lambda, Mu float64
+	// RNG is a dedicated random stream for the policy's own decisions.
+	RNG *rng.Stream
+}
+
+// Policy is a job scheduling policy: it selects a target computer for each
+// arriving job and observes departures.
+type Policy interface {
+	// Name identifies the policy in reports ("ORR", "WRAN", "LL", ...).
+	Name() string
+	// Init is called once per run before any job arrives.
+	Init(ctx *Context) error
+	// Select returns the index of the computer to run the job on. It is
+	// called at the job's arrival time.
+	Select(job *sim.Job) int
+	// Departed notifies the policy that a job completed on its target
+	// computer, at the engine's current time. Policies model their own
+	// detection/update delays by scheduling events.
+	Departed(job *sim.Job)
+}
+
+// Result aggregates one run's statistics over the post-warm-up jobs.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// MeanResponseTime is the average of Completion − Arrival (seconds).
+	MeanResponseTime float64
+	// MeanResponseRatio is the average of response time / job size.
+	MeanResponseRatio float64
+	// Fairness is the standard deviation of the response ratio (§4.1);
+	// smaller is better.
+	Fairness float64
+	// Jobs is the number of jobs included in the statistics.
+	Jobs int64
+	// JobFractions[i] is the fraction of counted jobs sent to computer i.
+	JobFractions []float64
+	// Utilizations[i] is busy time / observed time for computer i over
+	// the whole run (including warm-up).
+	Utilizations []float64
+	// RatioP50, RatioP95 and RatioP99 are percentile estimates of the
+	// response ratio distribution, from a log-binned histogram (an
+	// extension beyond the paper's mean-based metrics).
+	RatioP50, RatioP95, RatioP99 float64
+	// Deviations holds the per-interval workload allocation deviations
+	// when Config.DeviationInterval was set (Figure 2), measured against
+	// the policy's own realized overall fractions unless the policy
+	// provides target fractions.
+	Deviations []float64
+	// GeneratedJobs counts all arrivals, including warm-up.
+	GeneratedJobs int64
+	// SimulatedTime is the time at which statistics collection ended.
+	SimulatedTime float64
+}
+
+// FractionProvider is implemented by policies that know their target
+// allocation fractions (static policies); the deviation tracker uses them
+// as the expected vector. Policies without it (e.g. dynamic least-load)
+// cannot be deviation-tracked.
+type FractionProvider interface {
+	Fractions() []float64
+}
+
+// Run executes one simulation run of cfg under the given policy.
+func Run(cfg Config, policy Policy) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	n := len(cfg.Speeds)
+	root := rng.New(cfg.Seed)
+	arrStream := root.Derive("arrivals")
+	sizeStream := root.Derive("sizes")
+	policyStream := root.Derive("policy")
+
+	meanSize := cfg.JobSize.Mean()
+	lambda := cfg.Lambda()
+	mu := 1 / meanSize
+	if len(cfg.Replay) > 0 && cfg.Duration > 0 {
+		// Trace-driven runs: report the trace's empirical rates to the
+		// policy.
+		lambda = float64(len(cfg.Replay)) / cfg.Duration
+		var total float64
+		for _, r := range cfg.Replay {
+			total += r.Size
+		}
+		mu = 1 / (total / float64(len(cfg.Replay)))
+	}
+
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		var interArrival dist.Distribution
+		if cfg.ExponentialArrivals || cfg.ArrivalCV == 1 {
+			interArrival = dist.NewExponential(1 / lambda)
+		} else {
+			interArrival = dist.FitHyperExp2(1/lambda, cfg.ArrivalCV)
+		}
+		arrivals = RenewalProcess{Gap: interArrival}
+	} else if len(cfg.Replay) == 0 {
+		if v, ok := arrivals.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		lambda = arrivals.MeanRate()
+	}
+
+	en := &sim.Engine{}
+	ctx := &Context{
+		Engine:      en,
+		Speeds:      cfg.Speeds,
+		Utilization: cfg.Utilization,
+		Lambda:      lambda,
+		Mu:          mu,
+		RNG:         policyStream,
+	}
+	if err := policy.Init(ctx); err != nil {
+		return nil, fmt.Errorf("cluster: policy %s init: %w", policy.Name(), err)
+	}
+
+	warmup := cfg.Duration * cfg.WarmupFraction
+
+	var respTime, respRatio stats.Accumulator
+	// Response ratios range from 1/maxSpeed (an undisturbed job on the
+	// fastest computer) to arbitrarily large under congestion; log bins
+	// cover the practical range for percentile estimates.
+	ratioHist := stats.NewLogHistogram(1e-3, 1e6, 360)
+	counts := make([]int64, n)
+	var observed int64
+
+	onDepart := func(j *sim.Job) {
+		policy.Departed(j)
+		if j.Arrival >= warmup {
+			respTime.Add(j.ResponseTime())
+			respRatio.Add(j.ResponseRatio())
+			ratioHist.Add(j.ResponseRatio())
+			if cfg.OnDeparture != nil {
+				cfg.OnDeparture(j)
+			}
+		}
+	}
+
+	servers := make([]sim.Server, n)
+	for i, s := range cfg.Speeds {
+		switch cfg.Discipline {
+		case PS:
+			servers[i] = sim.NewPSServer(en, s, onDepart)
+		case RR:
+			servers[i] = sim.NewRRServer(en, s, cfg.Quantum, onDepart)
+		case FCFS:
+			servers[i] = sim.NewFCFSServer(en, s, onDepart)
+		default:
+			return nil, fmt.Errorf("cluster: unknown discipline %v", cfg.Discipline)
+		}
+	}
+
+	var devTracker *deviationTracker
+	if cfg.DeviationInterval > 0 {
+		fp, ok := policy.(FractionProvider)
+		if !ok {
+			return nil, fmt.Errorf("cluster: policy %s cannot provide fractions for deviation tracking", policy.Name())
+		}
+		devTracker = newDeviationTracker(fp.Fractions(), cfg.DeviationInterval)
+	}
+
+	var generated int64
+	// admit dispatches one job of the given size at the current time.
+	admit := func(size float64) {
+		now := en.Now()
+		generated++
+		j := &sim.Job{
+			ID:      generated,
+			Size:    size,
+			Arrival: now,
+		}
+		target := policy.Select(j)
+		if target < 0 || target >= n {
+			panic(fmt.Sprintf("cluster: policy %s selected invalid computer %d", policy.Name(), target))
+		}
+		j.Target = target
+		if j.Arrival >= warmup {
+			counts[target]++
+			observed++
+		}
+		if devTracker != nil {
+			devTracker.observe(now, target)
+		}
+		servers[target].Arrive(j)
+	}
+
+	if len(cfg.Replay) > 0 {
+		// Trace-driven arrivals: schedule each recorded job at its
+		// recorded time, one event ahead to keep the heap small.
+		var scheduleIdx func(i int)
+		scheduleIdx = func(i int) {
+			if i >= len(cfg.Replay) || cfg.Replay[i].Arrival > cfg.Duration {
+				return
+			}
+			r := cfg.Replay[i]
+			en.Schedule(r.Arrival, func() {
+				admit(r.Size)
+				scheduleIdx(i + 1)
+			})
+		}
+		scheduleIdx(0)
+	} else {
+		// Synthetic arrivals: the arrival process (default: a renewal
+		// process with the configured inter-arrival distribution) with
+		// sampled sizes.
+		var nextArrival func()
+		nextArrival = func() {
+			t := arrivals.Next(en.Now(), arrStream)
+			en.Schedule(t, func() {
+				if en.Now() > cfg.Duration {
+					return // admission closes at the horizon
+				}
+				admit(cfg.JobSize.Sample(sizeStream))
+				nextArrival()
+			})
+		}
+		nextArrival()
+	}
+
+	if *cfg.Drain {
+		// Run to the horizon, then let in-flight jobs finish. The pending
+		// arrival event beyond the horizon self-cancels via the time
+		// check.
+		en.RunUntil(cfg.Duration)
+		en.RunUntil(math.Inf(1))
+	} else {
+		en.RunUntil(cfg.Duration)
+	}
+	endTime := math.Max(en.Now(), cfg.Duration)
+
+	res := &Result{
+		Policy:            policy.Name(),
+		MeanResponseTime:  respTime.Mean(),
+		MeanResponseRatio: respRatio.Mean(),
+		Fairness:          respRatio.PopStdDev(),
+		Jobs:              respTime.N(),
+		JobFractions:      make([]float64, n),
+		Utilizations:      make([]float64, n),
+		RatioP50:          ratioHist.Quantile(0.50),
+		RatioP95:          ratioHist.Quantile(0.95),
+		RatioP99:          ratioHist.Quantile(0.99),
+		GeneratedJobs:     generated,
+		SimulatedTime:     endTime,
+	}
+	for i := range cfg.Speeds {
+		if observed > 0 {
+			res.JobFractions[i] = float64(counts[i]) / float64(observed)
+		}
+		res.Utilizations[i] = servers[i].BusyTime() / endTime
+	}
+	if devTracker != nil {
+		res.Deviations = devTracker.deviations(cfg.Duration)
+	}
+	return res, nil
+}
+
+// deviationTracker implements the Figure 2 measurement: per-interval
+// workload allocation deviation Σ(α_i − α'_i)².
+type deviationTracker struct {
+	expected []float64
+	length   float64
+	counts   []int64
+	boundary float64
+	devs     []float64
+}
+
+func newDeviationTracker(expected []float64, length float64) *deviationTracker {
+	cp := make([]float64, len(expected))
+	copy(cp, expected)
+	return &deviationTracker{
+		expected: cp,
+		length:   length,
+		counts:   make([]int64, len(expected)),
+		boundary: length,
+	}
+}
+
+func (d *deviationTracker) observe(t float64, target int) {
+	for t >= d.boundary {
+		d.close()
+	}
+	d.counts[target]++
+}
+
+func (d *deviationTracker) close() {
+	total := int64(0)
+	for _, c := range d.counts {
+		total += c
+	}
+	dev := 0.0
+	if total > 0 {
+		for i, c := range d.counts {
+			diff := d.expected[i] - float64(c)/float64(total)
+			dev += diff * diff
+		}
+	}
+	d.devs = append(d.devs, dev)
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	d.boundary += d.length
+}
+
+func (d *deviationTracker) deviations(horizon float64) []float64 {
+	for d.boundary <= horizon {
+		d.close()
+	}
+	out := make([]float64, len(d.devs))
+	copy(out, d.devs)
+	return out
+}
+
+// Summary aggregates a metric across replications.
+type Summary struct {
+	Mean float64 // mean across replications
+	CI95 float64 // 95% Student-t half-width
+	N    int     // replications
+}
+
+// ReplicatedResult aggregates replications of one (config, policy) cell.
+type ReplicatedResult struct {
+	Policy            string
+	MeanResponseTime  Summary
+	MeanResponseRatio Summary
+	Fairness          Summary
+	// JobFractions[i] is the across-replication mean fraction of jobs on
+	// computer i.
+	JobFractions []float64
+	// Utilizations[i] is the across-replication mean utilization.
+	Utilizations []float64
+	// Runs holds the individual run results, in replication order.
+	Runs []*Result
+}
+
+// PolicyFactory builds a fresh policy instance for each replication (a
+// policy instance is stateful and owned by one run).
+type PolicyFactory func() Policy
+
+// RunReplications executes reps independent runs — replication r uses seed
+// Seed+r — in parallel (bounded by GOMAXPROCS) and aggregates the metrics.
+func RunReplications(cfg Config, factory PolicyFactory, reps int) (*ReplicatedResult, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("cluster: reps = %d, must be positive", reps)
+	}
+	results := make([]*Result, reps)
+	errs := make([]error, reps)
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for r := 0; r < reps; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + uint64(r)
+			results[r], errs[r] = Run(c, factory())
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Aggregate(results)
+}
+
+// maxParallel bounds replication parallelism.
+func maxParallel() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RunUntilPrecision runs replications in batches until the 95% confidence
+// interval of the mean response ratio is within relCI of its mean
+// (relative half-width), or maxReps replications have run. It returns the
+// aggregated result; Converged on the return reports whether the target
+// was met. A minimum of 3 replications always runs.
+//
+// This is the sequential-stopping alternative to the paper's fixed 10
+// replications: cheap cells stop early, noisy ones (heavy-tailed
+// workloads at high load) get more repetitions.
+func RunUntilPrecision(cfg Config, factory PolicyFactory, relCI float64, maxReps int) (*ReplicatedResult, bool, error) {
+	if relCI <= 0 {
+		return nil, false, fmt.Errorf("cluster: relCI %v must be positive", relCI)
+	}
+	if maxReps < 3 {
+		return nil, false, fmt.Errorf("cluster: maxReps %d must be at least 3", maxReps)
+	}
+	var runs []*Result
+	for rep := 0; rep < maxReps; {
+		batch := maxParallel()
+		if rep+batch > maxReps {
+			batch = maxReps - rep
+		}
+		if rep == 0 && batch < 3 {
+			batch = 3
+		}
+		results := make([]*Result, batch)
+		errs := make([]error, batch)
+		var wg sync.WaitGroup
+		for k := 0; k < batch; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				c := cfg
+				c.Seed = cfg.Seed + uint64(rep+k)
+				results[k], errs[k] = Run(c, factory())
+			}(k)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		runs = append(runs, results...)
+		rep += batch
+		if rep < 3 {
+			continue
+		}
+		agg, err := Aggregate(runs)
+		if err != nil {
+			return nil, false, err
+		}
+		m := agg.MeanResponseRatio
+		if m.Mean != 0 && m.CI95/math.Abs(m.Mean) <= relCI {
+			return agg, true, nil
+		}
+	}
+	agg, err := Aggregate(runs)
+	if err != nil {
+		return nil, false, err
+	}
+	m := agg.MeanResponseRatio
+	return agg, m.Mean != 0 && m.CI95/math.Abs(m.Mean) <= relCI, nil
+}
+
+// Aggregate combines per-run results into a ReplicatedResult. All runs
+// must have the same number of computers.
+func Aggregate(runs []*Result) (*ReplicatedResult, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("cluster: no runs to aggregate")
+	}
+	n := len(runs[0].JobFractions)
+	var rt, rr, fair stats.Sample
+	fractions := make([]float64, n)
+	utils := make([]float64, n)
+	for _, run := range runs {
+		if len(run.JobFractions) != n {
+			return nil, fmt.Errorf("cluster: inconsistent computer counts (%d vs %d)", len(run.JobFractions), n)
+		}
+		rt.Add(run.MeanResponseTime)
+		rr.Add(run.MeanResponseRatio)
+		fair.Add(run.Fairness)
+		for i := 0; i < n; i++ {
+			fractions[i] += run.JobFractions[i] / float64(len(runs))
+			utils[i] += run.Utilizations[i] / float64(len(runs))
+		}
+	}
+	return &ReplicatedResult{
+		Policy:            runs[0].Policy,
+		MeanResponseTime:  Summary{rt.Mean(), rt.CI95(), rt.N()},
+		MeanResponseRatio: Summary{rr.Mean(), rr.CI95(), rr.N()},
+		Fairness:          Summary{fair.Mean(), fair.CI95(), fair.N()},
+		JobFractions:      fractions,
+		Utilizations:      utils,
+		Runs:              runs,
+	}, nil
+}

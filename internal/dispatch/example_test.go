@@ -1,0 +1,35 @@
+package dispatch_test
+
+import (
+	"fmt"
+
+	"heterosched/internal/dispatch"
+)
+
+// Algorithm 2 on the paper's §3.2 example: fractions 1/8, 1/8, 1/4, 1/2
+// produce an interleaved sequence in which computer 4 takes every other
+// job and the small-fraction computers are spread across cycles.
+func ExampleNewRoundRobin() {
+	rr, err := dispatch.NewRoundRobin([]float64{0.125, 0.125, 0.25, 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 16; i++ {
+		fmt.Printf("c%d ", rr.Next()+1)
+	}
+	fmt.Println()
+	// Output:
+	// c4 c3 c4 c4 c1 c3 c4 c2 c4 c3 c4 c4 c1 c3 c4 c2
+}
+
+// Deviation is the paper's smoothness metric (footnote 4): zero when an
+// interval's realized split matches the target exactly.
+func ExampleDeviation() {
+	target := []float64{0.5, 0.25, 0.25}
+	perfect, _ := dispatch.Deviation(target, []int64{8, 4, 4})
+	skewed, _ := dispatch.Deviation(target, []int64{16, 0, 0})
+	fmt.Printf("perfect=%.3f skewed=%.3f\n", perfect, skewed)
+	// Output:
+	// perfect=0.000 skewed=0.375
+}

@@ -1,0 +1,113 @@
+package dist
+
+import "math"
+
+// CDFer is implemented by distributions with a closed-form cumulative
+// distribution function, enabling goodness-of-fit validation of samplers
+// (see stats.KSTest).
+type CDFer interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+}
+
+// CDF of the exponential distribution: 1 − e^{−x/mean} for x ≥ 0.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.MeanVal)
+}
+
+// CDF of the uniform distribution on [Lo, Hi).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// CDF of the deterministic distribution: a step at Value.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+
+// CDF of the Bounded Pareto distribution:
+// F(x) = (1 − (k/x)^α) / (1 − (k/p)^α) on [k, p].
+func (b BoundedPareto) CDF(x float64) float64 {
+	switch {
+	case x <= b.K:
+		return 0
+	case x >= b.P:
+		return 1
+	default:
+		return (1 - math.Pow(b.K/x, b.Alpha)) / (1 - math.Pow(b.K/b.P, b.Alpha))
+	}
+}
+
+// CDF of the unbounded Pareto distribution: 1 − (k/x)^α for x ≥ k.
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.K {
+		return 0
+	}
+	return 1 - math.Pow(p.K/x, p.Alpha)
+}
+
+// CDF of the two-stage hyperexponential distribution: the probability
+// mixture of the two exponential CDFs.
+func (h HyperExp2) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return h.P1*(1-math.Exp(-h.R1*x)) + (1-h.P1)*(1-math.Exp(-h.R2*x))
+}
+
+// CDF of the Weibull distribution: 1 − e^{−(x/scale)^shape} for x ≥ 0.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// CDF of the lognormal distribution: Φ((ln x − μ)/σ).
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if l.Sigma == 0 {
+		if math.Log(x) < l.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2)))
+}
+
+// CDF of a scaled distribution: F(x/factor) when the base has a CDF.
+// It returns NaN if the base distribution has no closed-form CDF.
+func (s Scaled) CDF(x float64) float64 {
+	if c, ok := s.D.(CDFer); ok {
+		return c.CDF(x / s.Factor)
+	}
+	return math.NaN()
+}
+
+// Static interface checks.
+var (
+	_ CDFer = Exponential{}
+	_ CDFer = Uniform{}
+	_ CDFer = Deterministic{}
+	_ CDFer = BoundedPareto{}
+	_ CDFer = Pareto{}
+	_ CDFer = HyperExp2{}
+	_ CDFer = Weibull{}
+	_ CDFer = Lognormal{}
+	_ CDFer = Scaled{}
+)

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heterosched/internal/rng"
+)
+
+// Empirical is a distribution backed by observed data (e.g. job sizes from
+// a recorded trace). Sampling uses linear interpolation between the sorted
+// order statistics (a continuous approximation of the empirical inverse
+// CDF), so the sampled distribution is piecewise uniform between observed
+// values rather than a discrete resample.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+	vari   float64
+}
+
+// NewEmpirical builds an empirical distribution from the given values,
+// which must be positive and non-empty. The input slice is copied.
+func NewEmpirical(values []float64) (*Empirical, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one value")
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if sorted[0] <= 0 || math.IsNaN(sorted[0]) || math.IsInf(sorted[len(sorted)-1], 0) {
+		return nil, fmt.Errorf("dist: empirical values must be positive and finite")
+	}
+	var mean, m2 float64
+	for i, x := range sorted {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
+	}
+	return &Empirical{
+		sorted: sorted,
+		mean:   mean,
+		vari:   m2 / float64(len(sorted)),
+	}, nil
+}
+
+// Sample draws from the interpolated empirical inverse CDF.
+func (e *Empirical) Sample(st *rng.Stream) float64 {
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	pos := st.Float64() * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		lo = n - 2
+	}
+	frac := pos - float64(lo)
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// Mean returns the sample mean of the underlying data.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Variance returns the population variance of the underlying data. (The
+// interpolated sampling distribution has slightly smaller variance; the
+// data moments are the useful reference for workload modeling.)
+func (e *Empirical) Variance() float64 { return e.vari }
+
+// N returns the number of underlying observations.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// Quantile returns the q-quantile of the underlying data by linear
+// interpolation, for q in [0, 1].
+func (e *Empirical) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	pos := q * float64(len(e.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// CDF returns the empirical CDF (fraction of observations ≤ x, with
+// linear interpolation matching the sampler).
+func (e *Empirical) CDF(x float64) float64 {
+	n := len(e.sorted)
+	if x < e.sorted[0] {
+		return 0
+	}
+	if x >= e.sorted[n-1] {
+		return 1
+	}
+	// Upper-bound search: j is the first index with sorted[j] > x, so
+	// duplicates resolve to the end of their run (right-continuous CDF,
+	// consistent with the interpolating sampler).
+	j := sort.Search(n, func(k int) bool { return e.sorted[k] > x })
+	if e.sorted[j-1] == x {
+		return float64(j-1) / float64(n-1)
+	}
+	span := e.sorted[j] - e.sorted[j-1]
+	frac := (x - e.sorted[j-1]) / span
+	return (float64(j-1) + frac) / float64(n-1)
+}
+
+// String describes the distribution.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d,mean=%.4g)", len(e.sorted), e.mean)
+}
+
+var (
+	_ Distribution = (*Empirical)(nil)
+	_ CDFer        = (*Empirical)(nil)
+)

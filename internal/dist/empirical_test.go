@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"heterosched/internal/rng"
+	"heterosched/internal/stats"
+)
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := NewEmpirical([]float64{1, -2}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, err := NewEmpirical([]float64{0}); err == nil {
+		t.Error("zero value accepted")
+	}
+	if _, err := NewEmpirical([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("infinite value accepted")
+	}
+}
+
+func TestEmpiricalMoments(t *testing.T) {
+	e, err := NewEmpirical([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", e.Mean())
+	}
+	if math.Abs(e.Variance()-4) > 1e-12 {
+		t.Errorf("variance = %v, want 4 (population)", e.Variance())
+	}
+	if e.N() != 8 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestEmpiricalSingleValue(t *testing.T) {
+	e, err := NewEmpirical([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if e.Sample(st) != 3.5 {
+			t.Fatal("single-value empirical must be deterministic")
+		}
+	}
+}
+
+func TestEmpiricalSampleRange(t *testing.T) {
+	data := []float64{1, 5, 10, 20}
+	e, err := NewEmpirical(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		x := e.Sample(st)
+		if x < 1 || x > 20 {
+			t.Fatalf("sample %v outside data range", x)
+		}
+	}
+}
+
+func TestEmpiricalSampleMean(t *testing.T) {
+	// Samples from a large empirical dataset should reproduce its mean.
+	src := rng.New(3)
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = src.Exp(7.5)
+	}
+	e, err := NewEmpirical(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.New(4)
+	var acc stats.Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(e.Sample(st))
+	}
+	if math.Abs(acc.Mean()-e.Mean())/e.Mean() > 0.02 {
+		t.Errorf("sample mean %v, data mean %v", acc.Mean(), e.Mean())
+	}
+}
+
+func TestEmpiricalQuantile(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if math.Abs(e.Quantile(0.5)-3) > 1e-12 {
+		t.Errorf("median = %v", e.Quantile(0.5))
+	}
+	if math.Abs(e.Quantile(0.25)-2) > 1e-12 {
+		t.Errorf("q25 = %v", e.Quantile(0.25))
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	e, err := NewEmpirical([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CDF(0.5) != 0 || e.CDF(5) != 1 || e.CDF(100) != 1 {
+		t.Error("CDF boundaries wrong")
+	}
+	if math.Abs(e.CDF(3)-0.5) > 1e-12 {
+		t.Errorf("CDF(3) = %v, want 0.5", e.CDF(3))
+	}
+	if math.Abs(e.CDF(2.5)-0.375) > 1e-12 {
+		t.Errorf("CDF(2.5) = %v, want 0.375", e.CDF(2.5))
+	}
+}
+
+func TestEmpiricalKSSelfConsistency(t *testing.T) {
+	// Samples drawn from the empirical distribution pass a KS test
+	// against its own CDF (sampler and CDF are the same interpolation).
+	src := rng.New(5)
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = 1 + src.Float64()*9
+	}
+	e, err := NewEmpirical(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.New(6)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = e.Sample(st)
+	}
+	d, crit, ok, err := stats.KSTest(samples, e.CDF, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("empirical sampler failed KS vs own CDF: D=%v crit=%v", d, crit)
+	}
+}
+
+func TestEmpiricalDuplicateValues(t *testing.T) {
+	// Heavy duplication (common in real traces) must not break CDF or
+	// sampling.
+	e, err := NewEmpirical([]float64{2, 2, 2, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CDF(2); got <= 0 || got > 1 {
+		t.Errorf("CDF at duplicated value = %v", got)
+	}
+	st := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		x := e.Sample(st)
+		if x < 2 || x > 8 {
+			t.Fatalf("sample %v out of range", x)
+		}
+	}
+}

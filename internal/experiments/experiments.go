@@ -1,0 +1,134 @@
+// Package experiments defines one harness per table and figure of the
+// paper's evaluation (§5) plus the motivating Table 1 and the Figure 2
+// dispatching study, each regenerating the same rows or series the paper
+// reports.
+//
+// Every experiment accepts Options so the paper-scale study (4×10⁶
+// simulated seconds × 10 replications per point) can be scaled down for
+// quick regeneration: Scale multiplies the run length and Reps sets the
+// replication count. Shapes (who wins, by what factor, where crossovers
+// fall) are stable at Scale ≈ 0.05; absolute confidence intervals shrink
+// as Scale and Reps grow.
+//
+// The experiment registry (Registry, RunByName) backs cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"heterosched/internal/cluster"
+
+	"heterosched/internal/sched"
+)
+
+// PaperDuration is the paper's simulation run length in seconds (§4.1).
+const PaperDuration = 4.0e6
+
+// PaperReps is the paper's replication count per data point.
+const PaperReps = 10
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Scale multiplies the paper's 4×10⁶-second run length; 1.0
+	// reproduces the paper exactly, the default 0.05 regenerates shapes
+	// quickly.
+	Scale float64
+	// Reps is the number of independent replications per data point
+	// (paper: 10; default 3).
+	Reps int
+	// Seed is the root seed; replication r of a data point uses
+	// Seed + r with per-point stream derivation inside the cluster.
+	Seed uint64
+	// Log, when non-nil, receives one progress line per completed data
+	// point.
+	Log io.Writer
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.05
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// duration returns the scaled run length.
+func (o Options) duration() float64 { return PaperDuration * o.Scale }
+
+// logf writes a progress line if logging is enabled.
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// runPoint executes one (config, policy) data point with the options'
+// scale, reps and seed.
+func (o Options) runPoint(cfg cluster.Config, factory cluster.PolicyFactory) (*cluster.ReplicatedResult, error) {
+	cfg.Duration = o.duration()
+	cfg.Seed = o.Seed
+	return cluster.RunReplications(cfg, factory, o.Reps)
+}
+
+// BaseSpeeds returns the paper's Table 3 base configuration: 15 computers
+// with aggregate speed 44.
+func BaseSpeeds() []float64 {
+	return []float64{
+		1.0, 1.0, 1.0, 1.0, 1.0,
+		1.5, 1.5, 1.5, 1.5,
+		2.0, 2.0, 2.0,
+		5.0,
+		10.0,
+		12.0,
+	}
+}
+
+// Figure3Speeds returns the §5.1 system: 2 fast computers of the given
+// speed and 16 slow computers of speed 1.
+func Figure3Speeds(fast float64) []float64 {
+	speeds := make([]float64, 18)
+	for i := 0; i < 16; i++ {
+		speeds[i] = 1
+	}
+	speeds[16], speeds[17] = fast, fast
+	return speeds
+}
+
+// Figure4Speeds returns the §5.2 system of size n: n/2 fast (speed 10) and
+// n/2 slow (speed 1) computers. n must be even and positive.
+func Figure4Speeds(n int) []float64 {
+	if n <= 0 || n%2 != 0 {
+		panic(fmt.Sprintf("experiments: Figure4Speeds needs even positive n, got %d", n))
+	}
+	speeds := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		speeds[i] = 1
+	}
+	for i := n / 2; i < n; i++ {
+		speeds[i] = 10
+	}
+	return speeds
+}
+
+// staticPolicies returns factories for the four static schemes of Table 2
+// in presentation order.
+func staticPolicies() []cluster.PolicyFactory {
+	return []cluster.PolicyFactory{
+		func() cluster.Policy { return sched.WRAN() },
+		func() cluster.Policy { return sched.ORAN() },
+		func() cluster.Policy { return sched.WRR() },
+		func() cluster.Policy { return sched.ORR() },
+	}
+}
+
+// allPolicies returns the static schemes plus Dynamic Least-Load.
+func allPolicies() []cluster.PolicyFactory {
+	return append(staticPolicies(), func() cluster.Policy { return sched.NewLeastLoad() })
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationQuantumShape(t *testing.T) {
+	res, err := AblationQuantum(Options{Scale: 0.01, Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 5 {
+		t.Fatalf("got %d variants", len(res.Labels))
+	}
+	ps := res.Ratios[0].Mean
+	small := res.Ratios[1].Mean // quantum 0.1 s
+	big := res.Ratios[4].Mean   // quantum 100 s (> mean job size)
+	// Small quantum tracks PS closely.
+	if rel := abs(small-ps) / ps; rel > 0.05 {
+		t.Errorf("quantum 0.1s differs from PS by %.1f%%", 100*rel)
+	}
+	// A quantum exceeding most job sizes behaves FCFS-like and is clearly
+	// worse on the heavy-tailed workload.
+	if big < ps*1.3 {
+		t.Errorf("quantum 100s ratio %v not clearly worse than PS %v", big, ps)
+	}
+	if !strings.Contains(res.Render().String(), "PS (exact)") {
+		t.Error("render missing labels")
+	}
+}
+
+func TestAblationDispatchShape(t *testing.T) {
+	res, err := AblationDispatch(Options{Scale: 0.05, Reps: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 3 {
+		t.Fatalf("got %d variants", len(res.Labels))
+	}
+	random, cyclic, alg2 := res.Ratios[0].Mean, res.Ratios[1].Mean, res.Ratios[2].Mean
+	if alg2 >= random {
+		t.Errorf("Algorithm 2 %v not below random %v", alg2, random)
+	}
+	// Algorithm 2 should also beat the bursty cyclic WRR.
+	if alg2 >= cyclic {
+		t.Errorf("Algorithm 2 %v not below cyclic WRR %v", alg2, cyclic)
+	}
+}
+
+func TestExtBurstinessShape(t *testing.T) {
+	saved := BurstinessCVs
+	BurstinessCVs = []float64{1, 4}
+	defer func() { BurstinessCVs = saved }()
+
+	res, err := ExtBurstiness(Options{Scale: 0.05, Reps: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything degrades as burstiness grows.
+	if res.ORR[1].Mean <= res.ORR[0].Mean {
+		t.Errorf("ORR did not degrade with CV: %v → %v", res.ORR[0].Mean, res.ORR[1].Mean)
+	}
+	if res.WRR[1].Mean <= res.WRR[0].Mean {
+		t.Errorf("WRR did not degrade with CV: %v → %v", res.WRR[0].Mean, res.WRR[1].Mean)
+	}
+	// ORR's relative edge over WRR shrinks as burstiness grows (the
+	// allocation is derived from a CV=1 model).
+	gainLow := 1 - res.ORR[0].Mean/res.WRR[0].Mean
+	gainHigh := 1 - res.ORR[1].Mean/res.WRR[1].Mean
+	if gainHigh >= gainLow {
+		t.Errorf("ORR edge grew with burstiness: %v → %v", gainLow, gainHigh)
+	}
+}
+
+func TestExtBaselinesShape(t *testing.T) {
+	res, err := ExtBaselines(Options{Scale: 0.05, Reps: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 4 {
+		t.Fatalf("got %d rows", len(res.Labels))
+	}
+	orr, jsq2, jsq4, ll := res.Ratios[0].Mean, res.Ratios[1].Mean, res.Ratios[2].Mean, res.Ratios[3].Mean
+	// More information helps: LL <= JSQ(4) <= JSQ(2) (allow small noise),
+	// and full LL beats static ORR.
+	if ll >= orr {
+		t.Errorf("LL %v not below ORR %v", ll, orr)
+	}
+	if jsq4 > jsq2*1.1 {
+		t.Errorf("JSQ(4) %v worse than JSQ(2) %v", jsq4, jsq2)
+	}
+	if ll > jsq4*1.1 {
+		t.Errorf("LL %v worse than JSQ(4) %v", ll, jsq4)
+	}
+}
+
+func TestExtCappedShape(t *testing.T) {
+	saved := CappedCVs
+	CappedCVs = []float64{1, 5}
+	defer func() { CappedCVs = saved }()
+
+	res, err := ExtCapped(Options{Scale: 0.05, Reps: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 4 {
+		t.Fatalf("policies = %v", res.Policies)
+	}
+	// At CV=1 plain ORR is the true optimum: caps can only cost.
+	orr0 := res.Ratios["ORR"][0].Mean
+	cap0 := res.Ratios["ORRcap(0.8)"][0].Mean
+	if cap0 < orr0*0.97 {
+		t.Errorf("CV=1: capped %v clearly below exact optimum %v — impossible", cap0, orr0)
+	}
+	// Everything stays below WRR at both CVs on the base config.
+	for i := range CappedCVs {
+		wrr := res.Ratios["WRR"][i].Mean
+		for _, p := range []string{"ORR", "ORRcap(0.8)", "ORRcap(0.9)"} {
+			if res.Ratios[p][i].Mean >= wrr*1.05 {
+				t.Errorf("cv=%v: %s %v above WRR %v", CappedCVs[i], p, res.Ratios[p][i].Mean, wrr)
+			}
+		}
+	}
+}
+
+func TestExtNonstationaryShape(t *testing.T) {
+	saved := NonstationaryAmplitudes
+	NonstationaryAmplitudes = []float64{0, 0.20, 0.35}
+	defer func() { NonstationaryAmplitudes = saved }()
+
+	res, err := ExtNonstationary(Options{Scale: 0.1, Reps: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oscillating load degrades everyone (delay is convex in load).
+	for _, p := range res.Policies {
+		if res.Ratios[p][2].Mean <= res.Ratios[p][0].Mean {
+			t.Errorf("%s did not degrade under diurnal load: %v → %v",
+				p, res.Ratios[p][0].Mean, res.Ratios[p][2].Mean)
+		}
+	}
+	gain := func(i int) float64 {
+		return 1 - res.Ratios["ORR"][i].Mean/res.Ratios["WRR"][i].Mean
+	}
+	// §5.4's recommendation survives moderate swings: at ±20% (peak
+	// rho 0.84) average-rho ORR still clearly beats WRR.
+	if gain(1) < 0.08 {
+		t.Errorf("±20%% diurnal: ORR gain %.0f%%, expected it to survive", 100*gain(1))
+	}
+	// But at ±35% the peak (rho 0.945) pushes the skew-loaded fast
+	// machines past effective saturation for hours and the edge collapses
+	// — the same mechanism as Figure 6(a)'s load underestimation. This
+	// bounds the paper's "average utilization is sufficient" claim.
+	if gain(2) > gain(0)/2 {
+		t.Errorf("±35%% diurnal: ORR gain %.0f%% did not collapse (stationary gain %.0f%%)",
+			100*gain(2), 100*gain(0))
+	}
+	if !strings.Contains(res.Render().String(), "diurnal") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtSITAShape(t *testing.T) {
+	res, err := ExtSITA(Options{Scale: 0.1, Reps: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	find := func(disc, policy string) float64 {
+		for _, r := range res.Rows {
+			if r.Discipline == disc && r.Policy == policy {
+				return r.Ratio.Mean
+			}
+		}
+		t.Fatalf("row %s/%s missing", disc, policy)
+		return 0
+	}
+	// FCFS: size information is decisive — SITA-E crushes WRAN.
+	if find("FCFS", "SITA-E") >= 0.5*find("FCFS", "WRAN") {
+		t.Errorf("FCFS: SITA-E %v vs WRAN %v — expected dramatic gap",
+			find("FCFS", "SITA-E"), find("FCFS", "WRAN"))
+	}
+	// PS: preemption protects small jobs, so size-blind ORR is already
+	// competitive — within 2× of the size-aware scheme (usually better).
+	if find("PS", "ORR") > 2*find("PS", "SITA-E") {
+		t.Errorf("PS: ORR %v far above SITA-E %v", find("PS", "ORR"), find("PS", "SITA-E"))
+	}
+	// Every policy does better (or no worse) under PS than FCFS on this
+	// heavy-tailed workload.
+	for _, p := range []string{"WRAN", "ORR"} {
+		if find("PS", p) > find("FCFS", p)*1.05 {
+			t.Errorf("%s: PS %v worse than FCFS %v on heavy tails", p, find("PS", p), find("FCFS", p))
+		}
+	}
+	if !strings.Contains(res.Render().String(), "SITA-E") {
+		t.Error("render missing policy")
+	}
+}

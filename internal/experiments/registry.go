@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"heterosched/internal/plot"
+	"heterosched/internal/report"
+)
+
+// Output is everything an experiment produces for presentation: text
+// tables (always) and SVG charts (for experiments with figure panels).
+type Output struct {
+	Tables []*report.Table
+	Charts []*plot.Chart
+}
+
+// Runner regenerates one table or figure.
+type Runner func(Options) (*Output, error)
+
+// Registry maps experiment names to runners. Keys are the identifiers
+// accepted by cmd/experiments -run.
+var Registry = map[string]Runner{
+	"table1": func(o Options) (*Output, error) {
+		r, err := Table1(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"table2": func(o Options) (*Output, error) {
+		return &Output{Tables: []*report.Table{Table2()}}, nil
+	},
+	"fig2": func(o Options) (*Output, error) {
+		r, err := Figure2(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{
+			Tables: []*report.Table{r.Render()},
+			Charts: []*plot.Chart{r.Chart()},
+		}, nil
+	},
+	"fig3": sweepRunner(Figure3),
+	"fig4": sweepRunner(Figure4),
+	"fig5": sweepRunner(Figure5),
+	"fig6": sweepRunner(Figure6),
+	"validate": func(o Options) (*Output, error) {
+		r, err := Validate(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-quantum": func(o Options) (*Output, error) {
+		r, err := AblationQuantum(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-dispatch": func(o Options) (*Output, error) {
+		r, err := AblationDispatch(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-cv": func(o Options) (*Output, error) {
+		r, err := ExtBurstiness(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-baselines": func(o Options) (*Output, error) {
+		r, err := ExtBaselines(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-capped": func(o Options) (*Output, error) {
+		r, err := ExtCapped(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+	"ext-diurnal": func(o Options) (*Output, error) {
+		r, err := ExtNonstationary(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
+}
+
+// sweepRunner adapts a sweep experiment to the Runner signature.
+func sweepRunner(f func(Options) (*SweepResult, error)) Runner {
+	return func(o Options) (*Output, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render(), Charts: r.Charts()}, nil
+	}
+}
+
+// Names returns the registry keys in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for k := range Registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunByName executes the named experiment.
+func RunByName(name string, o Options) (*Output, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(o)
+}
+
+func init() {
+	Registry["ext-sita"] = func(o Options) (*Output, error) {
+		r, err := ExtSITA(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	}
+}

@@ -1,0 +1,238 @@
+// Package plot renders line charts as standalone SVG documents using only
+// the standard library, so the experiment harness can regenerate the
+// paper's figures as figures (cmd/experiments -svg).
+//
+// The feature set is deliberately small: multiple named series, linear or
+// log-10 Y axis, automatic "nice number" ticks, a legend, and axis labels.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single-panel line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY draws the Y axis in log-10 scale; all Y values must be
+	// positive.
+	LogY bool
+	// Width and Height are the SVG dimensions in pixels; zero means
+	// 640×420.
+	Width, Height int
+}
+
+// palette holds the series stroke colors (colorblind-safe Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000", "#F0E442",
+}
+
+// markers are per-series point marker shapes, cycled with the palette.
+const pointRadius = 3.0
+
+// WriteSVG renders the chart. It returns an error for empty or
+// inconsistent series, or non-positive Y values with LogY.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return errors.New("plot: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 420
+	}
+
+	// Data extent.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return fmt.Errorf("plot: series %q has non-finite point (%v, %v)", s.Name, x, y)
+			}
+			if c.LogY && y <= 0 {
+				return fmt.Errorf("plot: series %q has non-positive y %v with LogY", s.Name, y)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+		if c.LogY && minY <= 0 {
+			minY = maxY / 10
+		}
+	}
+
+	// Transform helpers.
+	const marginL, marginR, marginT, marginB = 70.0, 160.0, 40.0, 50.0
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+	yVal := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	yLo, yHi := yVal(minY), yVal(maxY)
+	// Pad the y range slightly so extreme points don't sit on the frame.
+	pad := 0.05 * (yHi - yLo)
+	yLo -= pad
+	yHi += pad
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (yVal(y)-yLo)/(yHi-yLo)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, escape(c.Title))
+	}
+
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+
+	// X ticks.
+	for _, t := range niceTicks(minX, maxX, 6) {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+18, formatTick(t))
+	}
+	// Y ticks.
+	var yTicks []float64
+	if c.LogY {
+		for e := math.Floor(yLo); e <= math.Ceil(yHi); e++ {
+			if e >= yLo && e <= yHi {
+				yTicks = append(yTicks, math.Pow(10, e))
+			}
+		}
+		if len(yTicks) < 2 { // narrow range: fall back to linear ticks
+			yTicks = niceTicks(minY, maxY, 5)
+		}
+	} else {
+		yTicks = niceTicks(math.Min(minY, maxY), math.Max(minY, maxY), 6)
+	}
+	for _, t := range yTicks {
+		if yVal(t) < yLo || yVal(t) > yHi {
+			continue
+		}
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, formatTick(t))
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, float64(height)-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for k := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[k]), py(s.Y[k])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for k := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%g" fill="%s"/>`+"\n",
+				px(s.X[k]), py(s.Y[k]), pointRadius, color)
+		}
+		// Legend entry.
+		ly := marginT + 10 + float64(i)*18
+		lx := marginL + plotW + 14
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.8"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escape replaces XML-special characters in text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceTicks returns ~n human-friendly tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for _, m := range []float64{1, 2, 5, 10, 20, 50} {
+		if span/(step*m) <= float64(n) {
+			step *= m
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for t := start; t <= hi+1e-9*span; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(t float64) string {
+	a := math.Abs(t)
+	switch {
+	case t == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.0e", t)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", t)
+	case a >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", t), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", t), "0"), ".")
+	}
+}

@@ -1,0 +1,76 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides multi-server and pooled-capacity reference models.
+// They are not part of the paper's analysis; they bound what *any*
+// scheduler (static or dynamic) could achieve on the same hardware, which
+// calibrates how much of the dynamic Least-Load advantage comes from
+// information versus from capacity pooling.
+
+// ErlangC returns the probability that an arriving job must wait in an
+// M/M/c queue with offered load a = λ/μ (in Erlangs) and c servers — the
+// Erlang-C formula. It returns 1 when the system is saturated (a >= c)
+// and an error for invalid arguments.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("queueing: ErlangC needs c > 0, got %d", c)
+	}
+	if a < 0 || math.IsNaN(a) {
+		return 0, fmt.Errorf("queueing: ErlangC offered load %v invalid", a)
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	if a >= float64(c) {
+		return 1, nil
+	}
+	// Iteratively build the Erlang-B blocking probability, then convert:
+	// B(0, a) = 1; B(k, a) = a·B(k−1)/(k + a·B(k−1)); and
+	// C = B(c) / (1 − (a/c)(1 − B(c))).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMcMeanResponseTime returns the mean response time of an M/M/c queue
+// with per-server rate mu and arrival rate lambda:
+// E[T] = 1/μ + C(c, λ/μ) / (cμ − λ). It returns +Inf when saturated.
+func MMcMeanResponseTime(c int, lambda, mu float64) (float64, error) {
+	if mu <= 0 {
+		return 0, fmt.Errorf("queueing: M/M/c service rate %v invalid", mu)
+	}
+	a := lambda / mu
+	pWait, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	if a >= float64(c) {
+		return math.Inf(1), nil
+	}
+	return 1/mu + pWait/(float64(c)*mu-lambda), nil
+}
+
+// PooledMeanResponseTime returns the mean response time of the idealized
+// fully-pooled system: a single M/M/1-PS server with the aggregate
+// capacity μΣs_i serving the whole stream. No scheduler on the real
+// (unpooled) hardware can beat it, so it is the universal lower bound
+// against which LL and ORR are measured. Returns +Inf when saturated.
+func (sys *System) PooledMeanResponseTime() float64 {
+	return MM1MeanResponseTime(sys.Lambda, sys.Capacity())
+}
+
+// PooledMeanResponseRatio is μ · PooledMeanResponseTime.
+func (sys *System) PooledMeanResponseRatio() float64 {
+	t := sys.PooledMeanResponseTime()
+	if math.IsInf(t, 1) {
+		return t
+	}
+	return sys.Mu * t
+}

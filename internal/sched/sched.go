@@ -1,0 +1,257 @@
+// Package sched assembles complete job scheduling policies from workload
+// allocation schemes (internal/alloc) and job dispatching strategies
+// (internal/dispatch), and implements the Dynamic Least-Load yardstick.
+//
+// The paper's Table 2 grid:
+//
+//	                      weighted alloc   optimized alloc
+//	random dispatch       WRAN             ORAN
+//	round-robin dispatch  WRR              ORR
+//
+// Constructors WRAN, ORAN, WRR, ORR build those four; Static composes any
+// allocator with any dispatch kind; LeastLoad is the dynamic scheme of
+// §2.2/§4.2 with realistic delayed load updates.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"heterosched/internal/alloc"
+	"heterosched/internal/cluster"
+	"heterosched/internal/dispatch"
+	"heterosched/internal/sim"
+)
+
+// DispatchKind selects the job dispatching strategy of a static policy.
+type DispatchKind int
+
+const (
+	// RandomDispatch sends each job to computer i with probability α_i.
+	RandomDispatch DispatchKind = iota
+	// RoundRobinDispatch uses the paper's Algorithm 2.
+	RoundRobinDispatch
+	// CyclicDispatch uses classic cyclic weighted round-robin (ablation).
+	CyclicDispatch
+)
+
+// String returns the mnemonic suffix used in policy names.
+func (k DispatchKind) String() string {
+	switch k {
+	case RandomDispatch:
+		return "RAN"
+	case RoundRobinDispatch:
+		return "RR"
+	case CyclicDispatch:
+		return "CYC"
+	default:
+		return fmt.Sprintf("DispatchKind(%d)", int(k))
+	}
+}
+
+// Static is a static scheduling policy: allocation fractions are computed
+// once at initialization from average system behavior (speeds and
+// utilization) and jobs are dispatched online by a stateless-per-job rule.
+type Static struct {
+	Allocator alloc.Allocator
+	Kind      DispatchKind
+	// Label overrides the derived name when non-empty.
+	Label string
+
+	fractions  []float64
+	dispatcher dispatch.Dispatcher
+}
+
+var _ cluster.Policy = (*Static)(nil)
+var _ cluster.FractionProvider = (*Static)(nil)
+
+// Name returns the policy label (e.g. "ORR" for optimized allocation with
+// round-robin dispatch).
+func (s *Static) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Allocator.Name() + s.Kind.String()
+}
+
+// Init computes the allocation for the run's speeds and utilization and
+// builds the dispatcher.
+func (s *Static) Init(ctx *cluster.Context) error {
+	fr, err := s.Allocator.Allocate(ctx.Speeds, ctx.Utilization)
+	if err != nil {
+		return fmt.Errorf("sched: %s allocation: %w", s.Name(), err)
+	}
+	s.fractions = fr
+	switch s.Kind {
+	case RandomDispatch:
+		s.dispatcher, err = dispatch.NewRandom(fr, ctx.RNG.Derive("dispatch"))
+	case RoundRobinDispatch:
+		s.dispatcher, err = dispatch.NewRoundRobin(fr)
+	case CyclicDispatch:
+		s.dispatcher, err = dispatch.NewCyclicWRR(fr, 1000)
+	default:
+		return fmt.Errorf("sched: unknown dispatch kind %v", s.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("sched: %s dispatcher: %w", s.Name(), err)
+	}
+	return nil
+}
+
+// Select dispatches the next job.
+func (s *Static) Select(*sim.Job) int { return s.dispatcher.Next() }
+
+// Departed is a no-op: static policies ignore system state.
+func (s *Static) Departed(*sim.Job) {}
+
+// Fractions returns the computed allocation (valid after Init).
+func (s *Static) Fractions() []float64 {
+	out := make([]float64, len(s.fractions))
+	copy(out, s.fractions)
+	return out
+}
+
+// The four named combinations of Table 2.
+
+// WRAN is simple weighted allocation with random dispatching — the
+// simplest speed-aware static policy, the paper's baseline.
+func WRAN() *Static { return &Static{Allocator: alloc.Proportional{}, Kind: RandomDispatch} }
+
+// ORAN is optimized allocation (Algorithm 1) with random dispatching.
+func ORAN() *Static { return &Static{Allocator: alloc.Optimized{}, Kind: RandomDispatch} }
+
+// WRR is simple weighted allocation with round-robin dispatching
+// (Algorithm 2).
+func WRR() *Static { return &Static{Allocator: alloc.Proportional{}, Kind: RoundRobinDispatch} }
+
+// ORR is the paper's headline policy: optimized allocation with
+// round-robin dispatching.
+func ORR() *Static { return &Static{Allocator: alloc.Optimized{}, Kind: RoundRobinDispatch} }
+
+// ORRWithLoadError is ORR computed against a mis-estimated utilization
+// (§5.4): relErr = −0.10 underestimates the load by 10%. Allocations that
+// saturate a computer under the true load are rejected at Init.
+func ORRWithLoadError(relErr float64) *Static {
+	return &Static{
+		Allocator: alloc.WithEstimationError{Base: alloc.Optimized{}, Err: relErr},
+		Kind:      RoundRobinDispatch,
+		Label:     fmt.Sprintf("ORR(%+.0f%%)", 100*relErr),
+	}
+}
+
+// ORRCapped is ORR with a per-computer utilization ceiling (see
+// alloc.CappedOptimized): the optimized allocation, except no computer is
+// loaded above rhoMax. A robustness-oriented extension: under bursty
+// arrivals the hottest (fastest) computers are exactly where the M/M/1
+// model underestimates delay.
+func ORRCapped(rhoMax float64) *Static {
+	return &Static{
+		Allocator: alloc.CappedOptimized{MaxUtilization: rhoMax},
+		Kind:      RoundRobinDispatch,
+		Label:     fmt.Sprintf("ORRcap(%.2g)", rhoMax),
+	}
+}
+
+// ORRWithLoadErrorUnstable is ORRWithLoadError without the true-load
+// feasibility check, so the unstable regime the paper observes under
+// severe underestimation at high load can actually be simulated.
+func ORRWithLoadErrorUnstable(relErr float64) *Static {
+	return &Static{
+		Allocator: alloc.WithEstimationError{Base: alloc.Optimized{}, Err: relErr, AllowUnstable: true},
+		Kind:      RoundRobinDispatch,
+		Label:     fmt.Sprintf("ORR(%+.0f%%)", 100*relErr),
+	}
+}
+
+// LeastLoad is the Dynamic Least-Load algorithm (§2.2, §4.2), used as the
+// performance yardstick for the static schemes. The central scheduler
+// tracks a load index (run-queue length) per computer:
+//
+//   - On dispatch, the target's index is incremented immediately (no
+//     rescheduling is allowed, so the scheduler knows the assignment).
+//   - On job completion, the computer notices after U(0,1) seconds (it
+//     polls its queue once per second) and sends an update message whose
+//     transfer delay is exponential with mean MessageDelay (default
+//     0.05 s); only then does the scheduler decrement the index.
+//
+// Each arriving job goes to the computer minimizing the normalized load
+// (index+1)/speed.
+type LeastLoad struct {
+	// MessageDelay is the mean load-update message transfer delay in
+	// seconds; zero means the paper's 0.05 s.
+	MessageDelay float64
+	// DetectMax is the upper bound of the uniform detection delay; zero
+	// means the paper's 1 s (computers check their queue every second).
+	DetectMax float64
+	// Instant disables both delays, modeling an idealized oracle
+	// scheduler (for ablations).
+	Instant bool
+
+	ctx  *cluster.Context
+	load []int64
+}
+
+var _ cluster.Policy = (*LeastLoad)(nil)
+
+// NewLeastLoad returns the paper-parameterized Dynamic Least-Load policy.
+func NewLeastLoad() *LeastLoad { return &LeastLoad{} }
+
+// Name returns "LL", or "LL*" for the instant-update variant.
+func (l *LeastLoad) Name() string {
+	if l.Instant {
+		return "LL*"
+	}
+	return "LL"
+}
+
+// Init captures the context and zeroes the load indices.
+func (l *LeastLoad) Init(ctx *cluster.Context) error {
+	if l.MessageDelay == 0 {
+		l.MessageDelay = 0.05
+	}
+	if l.DetectMax == 0 {
+		l.DetectMax = 1.0
+	}
+	l.ctx = ctx
+	l.load = make([]int64, len(ctx.Speeds))
+	return nil
+}
+
+// Select picks the computer with the least normalized load and charges the
+// new job to it immediately.
+func (l *LeastLoad) Select(*sim.Job) int {
+	best := -1
+	bestVal := math.Inf(1)
+	for i, s := range l.ctx.Speeds {
+		v := float64(l.load[i]+1) / s
+		if v < bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	l.load[best]++
+	return best
+}
+
+// Departed schedules the delayed load-index decrement.
+func (l *LeastLoad) Departed(j *sim.Job) {
+	target := j.Target
+	if l.Instant {
+		l.load[target]--
+		return
+	}
+	delay := l.ctx.RNG.Uniform(0, l.DetectMax) + l.ctx.RNG.Exp(l.MessageDelay)
+	l.ctx.Engine.ScheduleAfter(delay, func() {
+		l.load[target]--
+	})
+}
+
+// StaticFractions wraps a fixed fraction vector with a dispatch kind, for
+// experiments (like Figure 2) that specify fractions directly.
+func StaticFractions(fractions []float64, kind DispatchKind, label string) *Static {
+	return &Static{
+		Allocator: alloc.Static{Fractions: fractions, Label: label},
+		Kind:      kind,
+		Label:     label,
+	}
+}

@@ -1,0 +1,194 @@
+// Package sim provides the discrete-event simulation substrate: an event
+// engine with a cancellable future-event list, and server models
+// (processor sharing, quantum round-robin, FCFS) for the computers in the
+// paper's network.
+//
+// The paper's simulator (§4.1) models computers that apply "preemptive
+// round-robin processor scheduling"; the analysis assumes the processor
+// sharing (PS) limit. PSServer implements exact PS in O(log n) per event
+// using virtual-time bookkeeping; RRServer implements quantum-based
+// round-robin for quantum-sensitivity ablations; FCFSServer is provided as
+// a contrast discipline.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event is removed lazily from the
+// queue.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine is a sequential discrete-event engine: a clock plus a future
+// event list ordered by (time, schedule order). The zero value is ready to
+// use. Engines are not safe for concurrent use; run one engine per
+// goroutine (replications parallelize across engines).
+type Engine struct {
+	now    float64
+	seq    uint64
+	heap   []*Event
+	fired  uint64
+	popped uint64
+}
+
+// Now returns the current simulation time.
+func (en *Engine) Now() float64 { return en.now }
+
+// Fired returns the number of events executed so far.
+func (en *Engine) Fired() uint64 { return en.fired }
+
+// Pending returns the number of events in the queue, including lazily
+// cancelled ones.
+func (en *Engine) Pending() int { return len(en.heap) }
+
+// Schedule registers fn to run at absolute time t, which must not precede
+// the current time. It returns the Event handle for cancellation.
+func (en *Engine) Schedule(t float64, fn func()) *Event {
+	if t < en.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (t=%v, now=%v)", t, en.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	ev := &Event{time: t, seq: en.seq, fn: fn, index: -1}
+	en.seq++
+	en.push(ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run delay seconds from now.
+func (en *Engine) ScheduleAfter(delay float64, fn func()) *Event {
+	return en.Schedule(en.now+delay, fn)
+}
+
+// Step fires the next event. It returns false if the queue is empty.
+func (en *Engine) Step() bool {
+	for len(en.heap) > 0 {
+		ev := en.pop()
+		if ev.cancelled {
+			continue
+		}
+		en.now = ev.time
+		en.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass the horizon or
+// the queue empties. Events scheduled exactly at the horizon still fire.
+// The clock finishes at min(horizon, last event time); callers that need
+// the clock parked exactly at the horizon can call AdvanceTo.
+func (en *Engine) RunUntil(horizon float64) {
+	for len(en.heap) > 0 {
+		ev := en.heap[0]
+		if ev.cancelled {
+			en.pop()
+			continue
+		}
+		if ev.time > horizon {
+			return
+		}
+		en.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without firing events. It panics
+// if an uncancelled event is pending before t, or if t is in the past.
+func (en *Engine) AdvanceTo(t float64) {
+	if t < en.now {
+		panic(fmt.Sprintf("sim: AdvanceTo into the past (t=%v, now=%v)", t, en.now))
+	}
+	for len(en.heap) > 0 && en.heap[0].cancelled {
+		en.pop()
+	}
+	if len(en.heap) > 0 && en.heap[0].time < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, en.heap[0].time))
+	}
+	en.now = t
+}
+
+// less orders events by time, then schedule order (FIFO among ties).
+func (en *Engine) less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (en *Engine) push(ev *Event) {
+	en.heap = append(en.heap, ev)
+	i := len(en.heap) - 1
+	ev.index = i
+	en.up(i)
+}
+
+func (en *Engine) pop() *Event {
+	h := en.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].index = 0
+	en.heap = h[:last]
+	if last > 0 {
+		en.down(0)
+	}
+	top.index = -1
+	en.popped++
+	return top
+}
+
+func (en *Engine) up(i int) {
+	h := en.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !en.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].index = i
+		h[parent].index = parent
+		i = parent
+	}
+}
+
+func (en *Engine) down(i int) {
+	h := en.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && en.less(h[right], h[left]) {
+			small = right
+		}
+		if !en.less(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].index = i
+		h[small].index = small
+		i = small
+	}
+}

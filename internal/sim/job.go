@@ -1,0 +1,46 @@
+package sim
+
+// Job is one unit of work flowing through the simulated system.
+//
+// Size is the job's service demand expressed as the completion time on an
+// idle computer of relative speed 1 (the paper's definition of job size,
+// §2.3). Response time is Completion − Arrival; response ratio is response
+// time divided by Size.
+type Job struct {
+	// ID is a unique, monotonically increasing identifier.
+	ID int64
+	// Size is the service demand in seconds at speed 1.
+	Size float64
+	// Arrival is the time the job arrived at the central scheduler.
+	Arrival float64
+	// Completion is the time the job finished; zero until it departs.
+	Completion float64
+	// Target is the index of the computer the scheduler selected.
+	Target int
+
+	// attained is the virtual-time target used internally by PS servers,
+	// or the remaining work for quantum/FCFS servers.
+	attained float64
+	// heapIdx is the job's index in its server's internal heap.
+	heapIdx int
+}
+
+// ResponseTime returns Completion − Arrival.
+func (j *Job) ResponseTime() float64 { return j.Completion - j.Arrival }
+
+// ResponseRatio returns the job's response time divided by its size.
+func (j *Job) ResponseRatio() float64 { return j.ResponseTime() / j.Size }
+
+// Server models one computer: jobs arrive, are served at the computer's
+// speed under some discipline, and depart via the server's callback.
+type Server interface {
+	// Arrive hands a job to the server at the current engine time.
+	Arrive(j *Job)
+	// InService returns the number of jobs currently at the server.
+	InService() int
+	// Speed returns the computer's relative processing speed.
+	Speed() float64
+	// BusyTime returns the cumulative time the server has been non-idle,
+	// up to the current engine time.
+	BusyTime() float64
+}

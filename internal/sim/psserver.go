@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSServer is an exact processor-sharing server: when n jobs are present,
+// each receives service at rate speed/n. This is the limiting behavior of
+// preemptive round-robin as the quantum approaches zero, and the
+// discipline assumed by the paper's analysis (§2.3).
+//
+// Implementation: virtual time. V(t) is the cumulative service received by
+// any job continuously present; dV/dt = speed/n(t). A job arriving at
+// virtual time V with size S departs when V reaches V+S, so the next
+// departure is always the minimum "target V" in the system — maintained in
+// a binary heap, giving O(log n) per arrival/departure. V is rebased to 0
+// whenever the server goes idle, bounding floating-point drift.
+type PSServer struct {
+	engine   *Engine
+	speed    float64
+	onDepart func(*Job)
+
+	jobs   []*Job // min-heap on attained (target virtual time)
+	vtime  float64
+	lastT  float64
+	nextEv *Event
+
+	busyTime  float64
+	busySince float64
+	departed  int64
+}
+
+// NewPSServer creates a processor-sharing server with the given relative
+// speed (>0). onDepart is invoked at each job's completion time, after the
+// job's Completion field is set; it may schedule further events.
+func NewPSServer(en *Engine, speed float64, onDepart func(*Job)) *PSServer {
+	if !(speed > 0) {
+		panic(fmt.Sprintf("sim: PS server speed must be positive, got %v", speed))
+	}
+	return &PSServer{engine: en, speed: speed, onDepart: onDepart}
+}
+
+// Speed returns the server's relative speed.
+func (s *PSServer) Speed() float64 { return s.speed }
+
+// InService returns the number of jobs currently sharing the processor.
+func (s *PSServer) InService() int { return len(s.jobs) }
+
+// Departed returns the number of jobs completed by this server.
+func (s *PSServer) Departed() int64 { return s.departed }
+
+// BusyTime returns cumulative non-idle time up to the engine's clock.
+func (s *PSServer) BusyTime() float64 {
+	if len(s.jobs) > 0 {
+		return s.busyTime + (s.engine.Now() - s.busySince)
+	}
+	return s.busyTime
+}
+
+// advance brings the virtual clock up to the current engine time.
+func (s *PSServer) advance() {
+	now := s.engine.Now()
+	if n := len(s.jobs); n > 0 {
+		s.vtime += (now - s.lastT) * s.speed / float64(n)
+	}
+	s.lastT = now
+}
+
+// Arrive adds a job to the processor-sharing set.
+func (s *PSServer) Arrive(j *Job) {
+	if !(j.Size > 0) {
+		panic(fmt.Sprintf("sim: job %d has non-positive size %v", j.ID, j.Size))
+	}
+	s.advance()
+	if len(s.jobs) == 0 {
+		s.busySince = s.engine.Now()
+		// Idle rebase: V restarts from zero with no jobs to disturb.
+		s.vtime = 0
+	}
+	j.attained = s.vtime + j.Size
+	s.push(j)
+	s.reschedule()
+}
+
+// reschedule replaces the pending departure event with one for the current
+// minimum-target job.
+func (s *PSServer) reschedule() {
+	if s.nextEv != nil {
+		s.nextEv.Cancel()
+		s.nextEv = nil
+	}
+	if len(s.jobs) == 0 {
+		return
+	}
+	head := s.jobs[0]
+	dv := head.attained - s.vtime
+	if dv < 0 {
+		dv = 0 // rounding guard
+	}
+	dt := dv * float64(len(s.jobs)) / s.speed
+	s.nextEv = s.engine.ScheduleAfter(dt, s.depart)
+}
+
+// depart completes the minimum-target job.
+func (s *PSServer) depart() {
+	s.nextEv = nil
+	s.advance()
+	j := s.pop()
+	// Pin V exactly to the departing job's target so co-resident jobs see
+	// no rounding displacement.
+	s.vtime = math.Max(s.vtime, j.attained)
+	j.Completion = s.engine.Now()
+	s.departed++
+	if len(s.jobs) == 0 {
+		s.busyTime += s.engine.Now() - s.busySince
+	}
+	s.reschedule()
+	if s.onDepart != nil {
+		s.onDepart(j)
+	}
+}
+
+// push/pop maintain the min-heap on attained.
+func (s *PSServer) push(j *Job) {
+	s.jobs = append(s.jobs, j)
+	i := len(s.jobs) - 1
+	j.heapIdx = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.jobs[i].attained >= s.jobs[parent].attained {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *PSServer) pop() *Job {
+	top := s.jobs[0]
+	last := len(s.jobs) - 1
+	s.jobs[0] = s.jobs[last]
+	s.jobs[0].heapIdx = 0
+	s.jobs = s.jobs[:last]
+	if last > 0 {
+		i := 0
+		for {
+			left := 2*i + 1
+			if left >= last {
+				break
+			}
+			small := left
+			if r := left + 1; r < last && s.jobs[r].attained < s.jobs[left].attained {
+				small = r
+			}
+			if s.jobs[small].attained >= s.jobs[i].attained {
+				break
+			}
+			s.swap(i, small)
+			i = small
+		}
+	}
+	top.heapIdx = -1
+	return top
+}
+
+func (s *PSServer) swap(i, k int) {
+	s.jobs[i], s.jobs[k] = s.jobs[k], s.jobs[i]
+	s.jobs[i].heapIdx = i
+	s.jobs[k].heapIdx = k
+}

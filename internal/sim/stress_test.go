@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"heterosched/internal/rng"
+)
+
+// TestEngineHeapOrderingRandomized schedules events at random times with
+// random cancellations and verifies the firing order is exactly the
+// time-sorted order of surviving events.
+func TestEngineHeapOrderingRandomized(t *testing.T) {
+	st := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		var en Engine
+		type ev struct {
+			time      float64
+			seq       int
+			cancelled bool
+		}
+		n := 200 + st.Intn(200)
+		events := make([]ev, n)
+		var fired []int
+		handles := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			tm := st.Float64() * 1000
+			events[i] = ev{time: tm, seq: i}
+			i := i
+			handles[i] = en.Schedule(tm, func() { fired = append(fired, i) })
+		}
+		// Cancel ~25%.
+		for i := range events {
+			if st.Float64() < 0.25 {
+				events[i].cancelled = true
+				handles[i].Cancel()
+			}
+		}
+		en.RunUntil(math.Inf(1))
+
+		var want []int
+		for i, e := range events {
+			if !e.cancelled {
+				want = append(want, i)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			ea, eb := events[want[a]], events[want[b]]
+			if ea.time != eb.time {
+				return ea.time < eb.time
+			}
+			return ea.seq < eb.seq
+		})
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(fired), len(want))
+		}
+		for k := range want {
+			if fired[k] != want[k] {
+				t.Fatalf("trial %d: firing order diverged at %d: got %d, want %d",
+					trial, k, fired[k], want[k])
+			}
+		}
+	}
+}
+
+// TestEngineClockMonotone verifies the clock never goes backwards across a
+// randomized schedule, including events scheduled from within events.
+func TestEngineClockMonotone(t *testing.T) {
+	var en Engine
+	st := rng.New(7)
+	last := -1.0
+	var spawn func()
+	count := 0
+	spawn = func() {
+		now := en.Now()
+		if now < last {
+			t.Fatalf("clock went backwards: %v after %v", now, last)
+		}
+		last = now
+		if count < 5000 {
+			count++
+			en.ScheduleAfter(st.Float64()*3, spawn)
+		}
+	}
+	en.Schedule(0, spawn)
+	en.Schedule(0, spawn)
+	en.Schedule(0, spawn)
+	en.RunUntil(math.Inf(1))
+	if count < 5000 {
+		t.Fatalf("only %d events fired", count)
+	}
+}
+
+// Property: for any set of scheduled times, Fired() equals the number of
+// non-cancelled events after draining.
+func TestQuickEngineFiredCount(t *testing.T) {
+	f := func(times []float64, cancelMask []bool) bool {
+		var en Engine
+		valid := 0
+		var handles []*Event
+		for _, tm := range times {
+			if math.IsNaN(tm) || math.IsInf(tm, 0) || tm < 0 || tm > 1e12 {
+				continue
+			}
+			handles = append(handles, en.Schedule(tm, func() {}))
+			valid++
+		}
+		cancelled := 0
+		for i, h := range handles {
+			if i < len(cancelMask) && cancelMask[i] {
+				h.Cancel()
+				cancelled++
+			}
+		}
+		en.RunUntil(math.Inf(1))
+		return en.Fired() == uint64(valid-cancelled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPSServerConservation: over a randomized arrival pattern, every job
+// departs exactly once, departures are time-ordered, and each job's
+// completion is consistent with PS bounds: no earlier than arrival +
+// size/speed (service at full speed) and no earlier than any co-resident
+// lower bound.
+func TestPSServerConservation(t *testing.T) {
+	var en Engine
+	st := rng.New(13)
+	type done struct {
+		id   int64
+		at   float64
+		size float64
+		arr  float64
+	}
+	var completions []done
+	s := NewPSServer(&en, 2.0, func(j *Job) {
+		completions = append(completions, done{j.ID, j.Completion, j.Size, j.Arrival})
+	})
+	const jobs = 5000
+	tm := 0.0
+	for i := int64(1); i <= jobs; i++ {
+		tm += st.Exp(1.0)
+		size := st.Exp(1.5)
+		j := &Job{ID: i, Size: size, Arrival: tm}
+		en.Schedule(tm, func() { s.Arrive(j) })
+	}
+	en.RunUntil(math.Inf(1))
+
+	if len(completions) != jobs {
+		t.Fatalf("completed %d jobs, want %d", len(completions), jobs)
+	}
+	seen := map[int64]bool{}
+	lastT := 0.0
+	for _, d := range completions {
+		if seen[d.id] {
+			t.Fatalf("job %d departed twice", d.id)
+		}
+		seen[d.id] = true
+		if d.at < lastT-1e-9 {
+			t.Fatalf("departures out of order: %v after %v", d.at, lastT)
+		}
+		lastT = d.at
+		// Lower bound: service at the full speed the whole time.
+		if d.at < d.arr+d.size/2.0-1e-9 {
+			t.Fatalf("job %d finished impossibly fast: response %v < size/speed %v",
+				d.id, d.at-d.arr, d.size/2.0)
+		}
+	}
+	if s.InService() != 0 {
+		t.Fatalf("%d jobs stuck in server", s.InService())
+	}
+	if s.Departed() != jobs {
+		t.Fatalf("Departed() = %d", s.Departed())
+	}
+}
+
+// TestPSServerWorkConservation: total busy time equals total work/speed
+// when the server never idles (all jobs arrive at time 0).
+func TestPSServerWorkConservation(t *testing.T) {
+	var en Engine
+	s := NewPSServer(&en, 4.0, nil)
+	totalWork := 0.0
+	st := rng.New(17)
+	for i := int64(1); i <= 100; i++ {
+		size := st.Exp(3.0)
+		totalWork += size
+		s.Arrive(&Job{ID: i, Size: size})
+	}
+	en.RunUntil(math.Inf(1))
+	wantBusy := totalWork / 4.0
+	if math.Abs(s.BusyTime()-wantBusy) > 1e-6*wantBusy {
+		t.Errorf("busy time %v, want %v", s.BusyTime(), wantBusy)
+	}
+	if math.Abs(en.Now()-wantBusy) > 1e-6*wantBusy {
+		t.Errorf("makespan %v, want %v", en.Now(), wantBusy)
+	}
+}
+
+// TestPSServerSRPTOrderingOfEqualArrivals: with simultaneous arrivals,
+// PS completes jobs in size order.
+func TestPSServerSizeOrderedDepartures(t *testing.T) {
+	var en Engine
+	var order []int64
+	s := NewPSServer(&en, 1.0, func(j *Job) { order = append(order, j.ID) })
+	sizes := []float64{5, 1, 3, 2, 4}
+	for i, size := range sizes {
+		s.Arrive(&Job{ID: int64(i + 1), Size: size})
+	}
+	en.RunUntil(math.Inf(1))
+	want := []int64{2, 4, 3, 5, 1} // ascending size
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("departure order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRRServerConservation mirrors the PS conservation check for the
+// quantum server.
+func TestRRServerConservation(t *testing.T) {
+	var en Engine
+	st := rng.New(19)
+	var count int
+	s := NewRRServer(&en, 1.0, 0.25, func(*Job) { count++ })
+	tm := 0.0
+	const jobs = 1000
+	for i := int64(1); i <= jobs; i++ {
+		tm += st.Exp(2.0)
+		j := &Job{ID: i, Size: st.Exp(1.0), Arrival: tm}
+		en.Schedule(tm, func() { s.Arrive(j) })
+	}
+	en.RunUntil(math.Inf(1))
+	if count != jobs {
+		t.Fatalf("completed %d, want %d", count, jobs)
+	}
+	if s.InService() != 0 {
+		t.Fatalf("%d jobs stuck", s.InService())
+	}
+}
+
+// TestEngineManyCancellations exercises lazy deletion under heavy
+// cancellation pressure (the PS server cancels its tentative departure on
+// every arrival, so this is the hot path).
+func TestEngineManyCancellations(t *testing.T) {
+	var en Engine
+	st := rng.New(23)
+	fired := 0
+	for round := 0; round < 1000; round++ {
+		var keep *Event
+		for k := 0; k < 10; k++ {
+			ev := en.ScheduleAfter(st.Float64()*10, func() { fired++ })
+			if keep != nil {
+				keep.Cancel()
+			}
+			keep = ev
+		}
+		// Only the last of each batch survives.
+	}
+	en.RunUntil(math.Inf(1))
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
+	}
+	if en.Pending() != 0 {
+		t.Fatalf("pending %d after drain", en.Pending())
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with overflow and
+// underflow counters. Use NewHistogram or NewLogHistogram to create one.
+type Histogram struct {
+	lo, hi    float64
+	log       bool
+	bins      []int64
+	under     int64
+	over      int64
+	n         int64
+	logLo     float64
+	logWidth  float64
+	linWidth  float64
+	totalArea float64
+}
+
+// NewHistogram returns a linear-bin histogram over [lo, hi) with the given
+// number of bins. It panics on invalid arguments.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{
+		lo: lo, hi: hi,
+		bins:     make([]int64, bins),
+		linWidth: (hi - lo) / float64(bins),
+	}
+}
+
+// NewLogHistogram returns a histogram whose bins are equal-width in
+// log-space over [lo, hi), suitable for heavy-tailed data such as the
+// Bounded Pareto job sizes. It panics unless 0 < lo < hi.
+func NewLogHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid log histogram [%v,%v) bins=%d", lo, hi, bins))
+	}
+	h := &Histogram{
+		lo: lo, hi: hi, log: true,
+		bins:  make([]int64, bins),
+		logLo: math.Log(lo),
+	}
+	h.logWidth = (math.Log(hi) - h.logLo) / float64(bins)
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		var idx int
+		if h.log {
+			idx = int((math.Log(x) - h.logLo) / h.logWidth)
+		} else {
+			idx = int((x - h.lo) / h.linWidth)
+		}
+		if idx >= len(h.bins) { // float rounding at the upper edge
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// N returns the total number of observations including under/overflow.
+func (h *Histogram) N() int64 { return h.n }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+func (h *Histogram) Overflow() int64  { return h.over }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinBounds returns the [lo, hi) bounds of bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	if h.log {
+		lo = math.Exp(h.logLo + float64(i)*h.logWidth)
+		hi = math.Exp(h.logLo + float64(i+1)*h.logWidth)
+		return lo, hi
+	}
+	lo = h.lo + float64(i)*h.linWidth
+	return lo, lo + h.linWidth
+}
+
+// Quantile estimates the q-quantile assuming observations are uniform
+// within a bin. Out-of-range mass is attributed to the boundary values.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			lo, hi := h.BinBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// String renders a compact ASCII sketch of the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Fprintf(&b, "histogram n=%d under=%d over=%d\n", h.n, h.under, h.over)
+	for i, c := range h.bins {
+		lo, hi := h.BinBounds(i)
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&b, "[%12.4g,%12.4g) %10d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_n(x) − F(x)| for the given samples against the hypothesized
+// CDF. It panics on an empty sample.
+func KSStatistic(samples []float64, cdf func(float64) float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		panic("stats: KS statistic of empty sample")
+	}
+	xs := make([]float64, n)
+	copy(xs, samples)
+	sort.Float64s(xs)
+	d := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		// Compare against the empirical CDF just before and at x.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate critical value of the one-sample KS
+// statistic at the given significance level (0.10, 0.05 or 0.01) for
+// sample size n, using the asymptotic c(α)/√n form (accurate for
+// n ≳ 35).
+func KSCritical(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: KS critical value needs n > 0, got %d", n)
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.224
+	case 0.05:
+		c = 1.358
+	case 0.01:
+		c = 1.628
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance level %v (use 0.10, 0.05 or 0.01)", alpha)
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// KSTest reports whether the samples are consistent with the hypothesized
+// CDF at the given significance level: it returns the statistic, the
+// critical value, and ok = (D < critical).
+func KSTest(samples []float64, cdf func(float64) float64, alpha float64) (d, critical float64, ok bool, err error) {
+	d = KSStatistic(samples, cdf)
+	critical, err = KSCritical(len(samples), alpha)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return d, critical, d < critical, nil
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MSER implements the Marginal Standard Error Rule (White, 1997) for
+// warm-up truncation: given a series of observations (typically batch
+// means in simulation order), it returns the truncation index d that
+// minimizes the marginal standard error of the remaining mean,
+//
+//	MSER(d) = Var(x[d:]) / (n − d)²  (up to constants),
+//
+// i.e. the point where dropping more initial data stops paying for
+// itself. The paper fixes warm-up at the first quarter of each run; MSER
+// provides a data-driven check of that choice (see the cluster tests).
+//
+// Candidates are restricted to the first half of the series, the standard
+// guard against the statistic degenerating at small tail lengths.
+func MSER(series []float64) (int, error) {
+	n := len(series)
+	if n < 4 {
+		return 0, fmt.Errorf("stats: MSER needs at least 4 observations, got %d", n)
+	}
+	// Suffix sums enable O(1) mean/variance of every tail.
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sum[i] = sum[i+1] + series[i]
+		sumSq[i] = sumSq[i+1] + series[i]*series[i]
+	}
+	best, bestVal := 0, 0.0
+	first := true
+	for d := 0; d <= n/2; d++ {
+		m := float64(n - d)
+		mean := sum[d] / m
+		variance := sumSq[d]/m - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		val := variance / (m * m)
+		if first || val < bestVal {
+			best, bestVal = d, val
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// MSERBatch applies MSER to batch means of the series with the given
+// batch size, returning the truncation point in *original observations*.
+// Batching (MSER-5 uses size 5) damps autocorrelation and noise.
+func MSERBatch(series []float64, batch int) (int, error) {
+	if batch <= 0 {
+		return 0, fmt.Errorf("stats: batch size %d invalid", batch)
+	}
+	nBatches := len(series) / batch
+	if nBatches < 4 {
+		return 0, errors.New("stats: too few batches for MSER")
+	}
+	means := make([]float64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		s := 0.0
+		for i := b * batch; i < (b+1)*batch; i++ {
+			s += series[i]
+		}
+		means[b] = s / float64(batch)
+	}
+	d, err := MSER(means)
+	if err != nil {
+		return 0, err
+	}
+	return d * batch, nil
+}

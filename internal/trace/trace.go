@@ -1,0 +1,215 @@
+// Package trace records and reads per-job simulation traces. A trace is a
+// CSV stream with one row per completed job — id, target computer,
+// arrival time, size, completion time — enabling offline analysis
+// (response-time distributions, per-computer breakdowns) and regression
+// comparison between runs.
+//
+// Wire a Writer into a simulation through cluster.Config.OnDeparture:
+//
+//	w := trace.NewWriter(f)
+//	cfg.OnDeparture = func(j *sim.Job) { _ = w.Record(j) }
+//	... run ...
+//	err := w.Flush()
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/sim"
+	"heterosched/internal/stats"
+)
+
+// header is the CSV column layout, written once per trace.
+var header = []string{"id", "target", "arrival", "size", "completion"}
+
+// Record is one completed job.
+type Record struct {
+	ID         int64
+	Target     int
+	Arrival    float64
+	Size       float64
+	Completion float64
+}
+
+// ResponseTime returns Completion − Arrival.
+func (r Record) ResponseTime() float64 { return r.Completion - r.Arrival }
+
+// ResponseRatio returns response time divided by size.
+func (r Record) ResponseRatio() float64 { return r.ResponseTime() / r.Size }
+
+// Writer streams job records as CSV.
+type Writer struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewWriter returns a Writer emitting CSV to w. The header row is written
+// lazily with the first record.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w)}
+}
+
+// Record appends one completed job to the trace.
+func (w *Writer) Record(j *sim.Job) error {
+	return w.Append(Record{
+		ID:         j.ID,
+		Target:     j.Target,
+		Arrival:    j.Arrival,
+		Size:       j.Size,
+		Completion: j.Completion,
+	})
+}
+
+// Append writes one record.
+func (w *Writer) Append(r Record) error {
+	if !w.wroteHeader {
+		if err := w.cw.Write(header); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	return w.cw.Write([]string{
+		strconv.FormatInt(r.ID, 10),
+		strconv.Itoa(r.Target),
+		strconv.FormatFloat(r.Arrival, 'g', -1, 64),
+		strconv.FormatFloat(r.Size, 'g', -1, 64),
+		strconv.FormatFloat(r.Completion, 'g', -1, 64),
+	})
+}
+
+// Flush drains buffered rows to the underlying writer.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Reader parses a trace written by Writer.
+type Reader struct {
+	cr     *csv.Reader
+	seenHd bool
+}
+
+// NewReader returns a Reader over CSV trace data.
+func NewReader(r io.Reader) *Reader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	return &Reader{cr: cr}
+}
+
+// Next returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Next() (Record, error) {
+	for {
+		row, err := r.cr.Read()
+		if err != nil {
+			return Record{}, err
+		}
+		if !r.seenHd {
+			r.seenHd = true
+			if row[0] == header[0] {
+				continue // skip header row
+			}
+		}
+		return parseRow(row)
+	}
+}
+
+// ReadAll consumes the remaining records.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	id, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad id %q: %v", row[0], err)
+	}
+	target, err := strconv.Atoi(row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad target %q: %v", row[1], err)
+	}
+	arrival, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad arrival %q: %v", row[2], err)
+	}
+	size, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad size %q: %v", row[3], err)
+	}
+	completion, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad completion %q: %v", row[4], err)
+	}
+	return Record{ID: id, Target: target, Arrival: arrival, Size: size, Completion: completion}, nil
+}
+
+// Replay converts trace records into the arrival stream consumed by
+// cluster.Config.Replay, so a recorded workload can be re-run under a
+// different policy or configuration. cluster requires arrivals sorted
+// ascending; traces are written in *completion* order, so call
+// SortByArrival first.
+func Replay(records []Record) []cluster.ReplayJob {
+	out := make([]cluster.ReplayJob, len(records))
+	for i, r := range records {
+		out[i] = cluster.ReplayJob{Arrival: r.Arrival, Size: r.Size}
+	}
+	return out
+}
+
+// SortByArrival sorts records in place by ascending arrival time. Traces
+// are written in completion order, which for PS servers is not arrival
+// order.
+func SortByArrival(records []Record) {
+	sort.Slice(records, func(i, j int) bool { return records[i].Arrival < records[j].Arrival })
+}
+
+// Summary aggregates a trace into the paper's metrics plus per-computer
+// breakdowns.
+type Summary struct {
+	Jobs              int64
+	MeanResponseTime  float64
+	MeanResponseRatio float64
+	Fairness          float64
+	// PerTarget maps computer index to its job count.
+	PerTarget map[int]int64
+}
+
+// Summarize streams records from r and computes the summary.
+func Summarize(r *Reader) (*Summary, error) {
+	var rt, rr stats.Accumulator
+	perTarget := map[int]int64{}
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rt.Add(rec.ResponseTime())
+		rr.Add(rec.ResponseRatio())
+		perTarget[rec.Target]++
+	}
+	return &Summary{
+		Jobs:              rt.N(),
+		MeanResponseTime:  rt.Mean(),
+		MeanResponseRatio: rr.Mean(),
+		Fairness:          rr.PopStdDev(),
+		PerTarget:         perTarget,
+	}, nil
+}

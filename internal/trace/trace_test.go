@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/dist"
+	"heterosched/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{ID: 1, Target: 0, Arrival: 0.5, Size: 2, Completion: 3.5},
+		{ID: 2, Target: 3, Arrival: 1.25, Size: 0.125, Completion: 10},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriterFromJob(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	j := &sim.Job{ID: 7, Target: 2, Arrival: 10, Size: 3, Completion: 19}
+	if err := w.Record(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || got[0].ResponseTime() != 9 || got[0].ResponseRatio() != 3 {
+		t.Errorf("record = %+v", got)
+	}
+}
+
+func TestReaderWithoutHeader(t *testing.T) {
+	// Headerless data (e.g. concatenated shards) still parses.
+	in := "5,1,0,2,4\n"
+	got, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 5 {
+		t.Errorf("records = %+v", got)
+	}
+}
+
+func TestReaderBadRows(t *testing.T) {
+	cases := []string{
+		"x,1,0,2,4\n",
+		"1,x,0,2,4\n",
+		"1,1,x,2,4\n",
+		"1,1,0,x,4\n",
+		"1,1,0,2,x\n",
+	}
+	for _, in := range cases {
+		if _, err := NewReader(strings.NewReader(in)).Next(); err == nil {
+			t.Errorf("row %q accepted", strings.TrimSpace(in))
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Two jobs: ratios 2 and 4 → mean 3, pop sd 1.
+	if err := w.Append(Record{ID: 1, Target: 0, Arrival: 0, Size: 1, Completion: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{ID: 2, Target: 1, Arrival: 0, Size: 2, Completion: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 2 {
+		t.Errorf("jobs = %d", s.Jobs)
+	}
+	if math.Abs(s.MeanResponseRatio-3) > 1e-12 {
+		t.Errorf("mean ratio = %v", s.MeanResponseRatio)
+	}
+	if math.Abs(s.Fairness-1) > 1e-12 {
+		t.Errorf("fairness = %v", s.Fairness)
+	}
+	if s.PerTarget[0] != 1 || s.PerTarget[1] != 1 {
+		t.Errorf("per-target = %v", s.PerTarget)
+	}
+}
+
+// End to end: record a cluster run's trace, then verify the trace summary
+// matches the run's own metrics.
+func TestTraceMatchesClusterMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cfg := cluster.Config{
+		Speeds:              []float64{1, 2},
+		Utilization:         0.5,
+		JobSize:             dist.NewExponential(1.0),
+		ExponentialArrivals: true,
+		Duration:            20000,
+		Seed:                4,
+		OnDeparture:         func(j *sim.Job) { _ = w.Record(j) },
+	}
+	res, err := cluster.Run(cfg, &alternator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != res.Jobs {
+		t.Errorf("trace has %d jobs, run reports %d", s.Jobs, res.Jobs)
+	}
+	if math.Abs(s.MeanResponseTime-res.MeanResponseTime) > 1e-9 {
+		t.Errorf("trace mean %v vs run mean %v", s.MeanResponseTime, res.MeanResponseTime)
+	}
+	if math.Abs(s.Fairness-res.Fairness) > 1e-9 {
+		t.Errorf("trace fairness %v vs run %v", s.Fairness, res.Fairness)
+	}
+}
+
+type alternator struct{ next int }
+
+func (a *alternator) Name() string                { return "alt" }
+func (a *alternator) Init(*cluster.Context) error { return nil }
+func (a *alternator) Select(*sim.Job) int {
+	a.next = 1 - a.next
+	return a.next
+}
+func (a *alternator) Departed(*sim.Job) {}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Record a run's trace, replay it under the same policy, and verify
+	// identical aggregate behavior (the same arrivals produce the same
+	// schedule and completions for a deterministic policy).
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cfg := cluster.Config{
+		Speeds:              []float64{1, 2},
+		Utilization:         0.5,
+		JobSize:             dist.NewExponential(1.0),
+		ExponentialArrivals: true,
+		Duration:            10000,
+		WarmupFraction:      -1,
+		Seed:                6,
+		OnDeparture:         func(j *sim.Job) { _ = w.Record(j) },
+	}
+	orig, err := cluster.Run(cfg, &alternator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortByArrival(records)
+
+	replayCfg := cluster.Config{
+		Speeds:         []float64{1, 2},
+		Utilization:    0.5,
+		Duration:       10000,
+		WarmupFraction: -1,
+		Replay:         Replay(records),
+	}
+	rerun, err := cluster.Run(replayCfg, &alternator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Jobs != orig.Jobs {
+		t.Errorf("replay completed %d jobs, original %d", rerun.Jobs, orig.Jobs)
+	}
+	if math.Abs(rerun.MeanResponseTime-orig.MeanResponseTime) > 1e-9 {
+		t.Errorf("replay mean response %v, original %v", rerun.MeanResponseTime, orig.MeanResponseTime)
+	}
+	if math.Abs(rerun.Fairness-orig.Fairness) > 1e-9 {
+		t.Errorf("replay fairness %v, original %v", rerun.Fairness, orig.Fairness)
+	}
+}
+
+func TestReplayDifferentPolicy(t *testing.T) {
+	// The point of replay: evaluate a different policy on the exact same
+	// workload. Send everything to the fast machine vs alternating.
+	records := []Record{}
+	for i := 0; i < 200; i++ {
+		records = append(records, Record{ID: int64(i + 1), Arrival: float64(i) * 5, Size: 2})
+	}
+	replayCfg := cluster.Config{
+		Speeds:         []float64{1, 4},
+		Utilization:    0.3,
+		WarmupFraction: -1,
+		Replay:         Replay(records),
+	}
+	alt, err := cluster.Run(replayCfg, &alternator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := cluster.Run(replayCfg, &toFastest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Jobs != fast.Jobs {
+		t.Fatalf("job counts differ: %d vs %d", alt.Jobs, fast.Jobs)
+	}
+	// Widely spaced size-2 jobs: on the speed-4 machine each takes 0.5 s;
+	// alternating, half take 2 s. The fast-only policy must win.
+	if fast.MeanResponseTime >= alt.MeanResponseTime {
+		t.Errorf("fast-only %v not below alternating %v", fast.MeanResponseTime, alt.MeanResponseTime)
+	}
+}
+
+type toFastest struct{}
+
+func (*toFastest) Name() string                { return "fastest" }
+func (*toFastest) Init(*cluster.Context) error { return nil }
+func (*toFastest) Select(*sim.Job) int         { return 1 }
+func (*toFastest) Departed(*sim.Job)           {}
+
+func TestReplayValidation(t *testing.T) {
+	base := cluster.Config{
+		Speeds:      []float64{1},
+		Utilization: 0.5,
+	}
+	bad := base
+	bad.Replay = []cluster.ReplayJob{{Arrival: 10, Size: 1}, {Arrival: 5, Size: 1}}
+	if _, err := cluster.Run(bad, &toFastest{}); err == nil {
+		t.Error("unsorted replay accepted")
+	}
+	bad2 := base
+	bad2.Replay = []cluster.ReplayJob{{Arrival: 1, Size: 0}}
+	if _, err := cluster.Run(bad2, &toFastest{}); err == nil {
+		t.Error("zero-size replay job accepted")
+	}
+}
