@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test check stress vet fmt clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Fast full-suite run (tier-1 gate).
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the pre-commit gate: vet, build, then the whole suite under the
+# race detector with -short so the internal/sim stress tests run at reduced
+# iteration counts (see stressN in internal/sim/stress_test.go).
+check: vet build
+	$(GO) test -race -short ./...
+
+# stress runs the internal/sim stress tests at full iteration counts under
+# the race detector.
+stress:
+	$(GO) test -race -run 'Stress|Conservation|Randomized|Cancellations|Monotone|Quick' ./internal/sim/
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,13 @@
 //	heterosim -speeds 1,1,1,1,10,10 -rho 0.7 -policy ORR -duration 4e5 -reps 5
 //
 // Policies: WRAN, ORAN, WRR, ORR, LL (Dynamic Least-Load), LL* (instant
-// updates), ORR+e / ORR-e (load estimation error e%, e.g. ORR-10).
+// updates), JSQ2, ORRA (availability-aware; needs -mtbf), ORRCAPx,
+// ORR+e / ORR-e (load estimation error e%, e.g. ORR-10).
+//
+// Failure injection: set -mtbf and -mttr (exponential means) to make
+// computers fail and recover; -fate selects what happens to interrupted
+// jobs, -realloc whether static policies re-solve their allocation over
+// the survivors.
 package main
 
 import (
@@ -14,12 +20,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
+	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
 	"heterosched/internal/dist"
 	"heterosched/internal/report"
-	"heterosched/internal/sched"
 	"heterosched/internal/sim"
 	"heterosched/internal/trace"
 )
@@ -27,7 +32,7 @@ import (
 func main() {
 	speedsFlag := flag.String("speeds", "1,1,1,1,10,10", "comma-separated relative computer speeds")
 	rho := flag.Float64("rho", 0.7, "system utilization in [0,1)")
-	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, ORR±e (e.g. ORR-10)")
+	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx, ORR±e")
 	duration := flag.Float64("duration", 4e5, "simulated seconds per replication (paper: 4e6)")
 	reps := flag.Int("reps", 3, "independent replications (paper: 10)")
 	seed := flag.Uint64("seed", 1, "root random seed")
@@ -36,13 +41,33 @@ func main() {
 	meanSize := flag.Float64("meansize", 76.8, "mean job size when -expsizes is set")
 	quantum := flag.Float64("quantum", 0, "if > 0, use quantum round-robin servers instead of PS")
 	traceFile := flag.String("trace", "", "write a per-job CSV trace of replication 0 to this file")
+	mtbf := flag.Float64("mtbf", 0, "mean time between failures per computer (exponential); 0 disables failures")
+	mttr := flag.Float64("mttr", 0, "mean time to repair per computer (exponential)")
+	fate := flag.String("fate", "requeue", "job fate at failure: lost, restart, resume or requeue")
+	retries := flag.Int("retries", 3, "re-dispatch budget per job under -fate requeue")
+	detect := flag.Float64("detect", 0, "failure/repair detection lag in seconds")
+	realloc := flag.String("realloc", "stale", "static policies on failure: stale (keep fractions) or resolve (re-run allocator)")
 	flag.Parse()
 
-	speeds, err := parseSpeeds(*speedsFlag)
+	speeds, err := cli.ParseSpeeds(*speedsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	factory, err := policyFactory(*policyFlag)
+	params := cli.RunParams{Rho: *rho, Duration: *duration, Reps: *reps, CV: *cv, Quantum: *quantum, MeanSize: *meanSize}
+	if err := params.Validate(); err != nil {
+		fatal(err)
+	}
+	faultCfg, mode, err := cli.FaultParams{
+		MTBF: *mtbf, MTTR: *mttr, Fate: *fate, Retries: *retries, Detect: *detect, Realloc: *realloc,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := cli.ParsePolicy(*policyFlag, cli.PolicyOptions{
+		Realloc:   mode,
+		Faults:    faultCfg,
+		Computers: len(speeds),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -53,6 +78,7 @@ func main() {
 		Duration:    *duration,
 		Seed:        *seed,
 		ArrivalCV:   *cv,
+		Faults:      faultCfg,
 	}
 	if *cv == 1 {
 		cfg.ExponentialArrivals = true
@@ -106,62 +132,44 @@ func main() {
 	}
 	fmt.Println()
 
-	pt := report.NewTable("per-computer", "computer", "speed", "job share %", "utilization %")
+	pt := report.NewTable("per-computer", "computer", "speed", "job share %", "utilization %", "availability %")
 	for i := range speeds {
+		availCell := "-"
+		if res.Availability != nil {
+			availCell = report.Pct(res.Availability[i])
+		}
 		pt.AddRow(strconv.Itoa(i+1), report.F(speeds[i]),
-			report.Pct(res.JobFractions[i]), report.Pct(res.Utilizations[i]))
+			report.Pct(res.JobFractions[i]), report.Pct(res.Utilizations[i]), availCell)
 	}
 	if _, err := pt.WriteTo(os.Stdout); err != nil {
 		fatal(err)
 	}
-}
 
-// policyFactory parses a policy mnemonic into a factory.
-func policyFactory(name string) (cluster.PolicyFactory, error) {
-	switch strings.ToUpper(name) {
-	case "WRAN":
-		return func() cluster.Policy { return sched.WRAN() }, nil
-	case "ORAN":
-		return func() cluster.Policy { return sched.ORAN() }, nil
-	case "WRR":
-		return func() cluster.Policy { return sched.WRR() }, nil
-	case "ORR":
-		return func() cluster.Policy { return sched.ORR() }, nil
-	case "LL":
-		return func() cluster.Policy { return sched.NewLeastLoad() }, nil
-	case "LL*":
-		return func() cluster.Policy { return &sched.LeastLoad{Instant: true} }, nil
-	}
-	// ORR with estimation error, e.g. "ORR-10" or "ORR+5".
-	upper := strings.ToUpper(name)
-	if strings.HasPrefix(upper, "ORR") {
-		pct, err := strconv.ParseFloat(upper[3:], 64)
-		if err == nil {
-			rel := pct / 100
-			return func() cluster.Policy { return sched.ORRWithLoadErrorUnstable(rel) }, nil
+	if res.Availability != nil {
+		fmt.Println()
+		ft := report.NewTable("failure model (sums/means across replications)", "metric", "value")
+		var failures, lost, requeued, restarted, resumed, degJobs int64
+		var degTime float64
+		for _, run := range res.Runs {
+			failures += run.Failures
+			lost += run.JobsLost
+			requeued += run.JobsRequeued
+			restarted += run.JobsRestarted
+			resumed += run.JobsResumed
+			degJobs += run.DegradedJobs
+			degTime += run.DegradedTime / float64(len(res.Runs))
+		}
+		ft.AddRow("failures", strconv.FormatInt(failures, 10))
+		ft.AddRow("jobs lost", report.MeanCI(res.JobsLost.Mean, res.JobsLost.CI95))
+		ft.AddRow("jobs requeued", strconv.FormatInt(requeued, 10))
+		ft.AddRow("jobs restarted / resumed", fmt.Sprintf("%d / %d", restarted, resumed))
+		ft.AddRow("degraded time (s, mean)", report.F(degTime))
+		ft.AddRow("degraded jobs", strconv.FormatInt(degJobs, 10))
+		ft.AddRow("mean resp time degraded (s)", report.MeanCI(res.MeanResponseTimeDegraded.Mean, res.MeanResponseTimeDegraded.CI95))
+		if _, err := ft.WriteTo(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
-	return nil, fmt.Errorf("unknown policy %q", name)
-}
-
-func parseSpeeds(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	speeds := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad speed %q: %v", p, err)
-		}
-		speeds = append(speeds, v)
-	}
-	if len(speeds) == 0 {
-		return nil, fmt.Errorf("no speeds given")
-	}
-	return speeds, nil
 }
 
 func fatal(err error) {

@@ -2,31 +2,13 @@ package main
 
 import (
 	"testing"
+
+	"heterosched/internal/cli"
 )
 
-func TestParseSpeeds(t *testing.T) {
-	got, err := parseSpeeds("1, 1.5 ,2,,10")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []float64{1, 1.5, 2, 10}
-	if len(got) != len(want) {
-		t.Fatalf("got %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("speed[%d] = %v, want %v", i, got[i], want[i])
-		}
-	}
-	if _, err := parseSpeeds(""); err == nil {
-		t.Error("empty speeds accepted")
-	}
-	if _, err := parseSpeeds("1,abc"); err == nil {
-		t.Error("non-numeric speed accepted")
-	}
-}
-
-func TestPolicyFactoryNames(t *testing.T) {
+// TestPolicyNames checks the mnemonic → policy-name mapping through the
+// shared CLI parser used by this command.
+func TestPolicyNames(t *testing.T) {
 	cases := map[string]string{
 		"WRAN":   "WRAN",
 		"oran":   "ORAN",
@@ -38,19 +20,19 @@ func TestPolicyFactoryNames(t *testing.T) {
 		"ORR+5":  "ORR(+5%)",
 	}
 	for in, want := range cases {
-		f, err := policyFactory(in)
+		f, err := cli.ParsePolicy(in, cli.PolicyOptions{Computers: 4})
 		if err != nil {
-			t.Errorf("policyFactory(%q): %v", in, err)
+			t.Errorf("ParsePolicy(%q): %v", in, err)
 			continue
 		}
 		if got := f().Name(); got != want {
-			t.Errorf("policyFactory(%q).Name() = %q, want %q", in, got, want)
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", in, got, want)
 		}
 	}
-	if _, err := policyFactory("bogus"); err == nil {
+	if _, err := cli.ParsePolicy("bogus", cli.PolicyOptions{}); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := policyFactory("ORRxx"); err == nil {
+	if _, err := cli.ParsePolicy("ORRxx", cli.PolicyOptions{}); err == nil {
 		t.Error("malformed ORR error accepted")
 	}
 }

@@ -6,18 +6,24 @@
 //
 //	sweep -speeds 1,1,2,10 -policies ORR,WRR,LL -from 0.3 -to 0.9 -step 0.1 \
 //	      -duration 2e5 -reps 3 [-csv out.csv]
+//
+// With -mtbf/-mttr set, computers fail and recover during the sweep and
+// a fourth table reports jobs lost and degraded-window response times,
+// e.g.:
+//
+//	sweep -speeds 1,1,2,10 -policies ORR,ORRA -from 0.2 -to 0.6 -step 0.2 \
+//	      -mtbf 2e4 -mttr 2e3 -fate requeue -realloc resolve
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
+	"heterosched/internal/faults"
 	"heterosched/internal/report"
-	"heterosched/internal/sched"
 )
 
 func main() {
@@ -31,23 +37,38 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root seed")
 	cv := flag.Float64("cv", 3.0, "arrival CV (1 = Poisson)")
 	csvPath := flag.String("csv", "", "also write the response-ratio table as CSV")
+	mtbf := flag.Float64("mtbf", 0, "mean time between failures per computer (exponential); 0 disables failures")
+	mttr := flag.Float64("mttr", 0, "mean time to repair per computer (exponential)")
+	fate := flag.String("fate", "requeue", "job fate at failure: lost, restart, resume or requeue")
+	retries := flag.Int("retries", 3, "re-dispatch budget per job under -fate requeue")
+	detect := flag.Float64("detect", 0, "failure/repair detection lag in seconds")
+	realloc := flag.String("realloc", "stale", "static policies on failure: stale (keep fractions) or resolve (re-run allocator)")
 	flag.Parse()
 
-	speeds, err := parseFloats(*speedsFlag)
+	speeds, err := cli.ParseSpeeds(*speedsFlag)
 	if err != nil {
 		fatal(err)
 	}
-	names := strings.Split(*policiesFlag, ",")
-	factories := make([]cluster.PolicyFactory, 0, len(names))
-	clean := make([]string, 0, len(names))
-	for _, n := range names {
-		n = strings.TrimSpace(n)
-		f, err := policyFactory(n)
-		if err != nil {
-			fatal(err)
-		}
-		factories = append(factories, f)
-		clean = append(clean, n)
+	if err := cli.ValidateSweepRange(*from, *to, *step); err != nil {
+		fatal(err)
+	}
+	params := cli.RunParams{Rho: *from, Duration: *duration, Reps: *reps, CV: *cv, MeanSize: 76.8}
+	if err := params.Validate(); err != nil {
+		fatal(err)
+	}
+	faultCfg, mode, err := cli.FaultParams{
+		MTBF: *mtbf, MTTR: *mttr, Fate: *fate, Retries: *retries, Detect: *detect, Realloc: *realloc,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
+	names, factories, err := cli.ParsePolicies(*policiesFlag, cli.PolicyOptions{
+		Realloc:   mode,
+		Faults:    faultCfg,
+		Computers: len(speeds),
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	rhos := sweepValues(*from, *to, *step)
@@ -55,7 +76,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, err := runSweep(speeds, rhos, clean, factories, *duration, *reps, *seed, *cv)
+	tables, csvTable, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,19 +110,29 @@ func sweepValues(from, to, step float64) []float64 {
 	return out
 }
 
-// runSweep executes the sweep and renders the three metric tables; the
-// second return is the response-ratio table (for CSV output).
+// runSweep executes the sweep and renders the metric tables; the second
+// return is the response-ratio table (for CSV output). With a fault
+// config, two extra tables report jobs lost and the degraded-window mean
+// response time per point.
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
-	duration float64, reps int, seed uint64, cv float64,
+	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
 ) ([]*report.Table, *report.Table, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
 	timeT := report.NewTable("mean response time (s)", headers...)
 	fair := report.NewTable("fairness (sd of response ratio)", headers...)
+	withFaults := faultCfg.Enabled()
+	var lostT, degT *report.Table
+	if withFaults {
+		lostT = report.NewTable("jobs lost (mean per replication)", headers...)
+		degT = report.NewTable("mean response time in degraded windows (s)", headers...)
+	}
 	for _, rho := range rhos {
 		rowR := []string{report.F(rho)}
 		rowT := []string{report.F(rho)}
 		rowF := []string{report.F(rho)}
+		rowL := []string{report.F(rho)}
+		rowD := []string{report.F(rho)}
 		for _, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
@@ -109,6 +140,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				Duration:    duration,
 				Seed:        seed,
 				ArrivalCV:   cv,
+				Faults:      faultCfg,
 			}
 			if cv == 1 {
 				cfg.ExponentialArrivals = true
@@ -120,67 +152,30 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			rowR = append(rowR, report.F(res.MeanResponseRatio.Mean))
 			rowT = append(rowT, report.F(res.MeanResponseTime.Mean))
 			rowF = append(rowF, report.F(res.Fairness.Mean))
+			if withFaults {
+				rowL = append(rowL, report.F(res.JobsLost.Mean))
+				rowD = append(rowD, report.F(res.MeanResponseTimeDegraded.Mean))
+			}
 		}
 		ratio.AddRow(rowR...)
 		timeT.AddRow(rowT...)
 		fair.AddRow(rowF...)
+		if withFaults {
+			lostT.AddRow(rowL...)
+			degT.AddRow(rowD...)
+		}
 	}
 	note := fmt.Sprintf("%d replications × %.3g s per point, arrival CV %.3g", reps, duration, cv)
+	if withFaults {
+		note += fmt.Sprintf("; failures MTBF %s, MTTR %s, fate %s",
+			faultCfg.Uptime, faultCfg.Downtime, faultCfg.Fate)
+	}
 	ratio.AddNote("%s", note)
-	return []*report.Table{timeT, ratio, fair}, ratio, nil
-}
-
-// policyFactory mirrors cmd/heterosim's policy parser.
-func policyFactory(name string) (cluster.PolicyFactory, error) {
-	switch strings.ToUpper(name) {
-	case "WRAN":
-		return func() cluster.Policy { return sched.WRAN() }, nil
-	case "ORAN":
-		return func() cluster.Policy { return sched.ORAN() }, nil
-	case "WRR":
-		return func() cluster.Policy { return sched.WRR() }, nil
-	case "ORR":
-		return func() cluster.Policy { return sched.ORR() }, nil
-	case "LL":
-		return func() cluster.Policy { return sched.NewLeastLoad() }, nil
-	case "JSQ2":
-		return func() cluster.Policy { return sched.NewPowerOfTwo() }, nil
+	tables := []*report.Table{timeT, ratio, fair}
+	if withFaults {
+		tables = append(tables, lostT, degT)
 	}
-	upper := strings.ToUpper(name)
-	if strings.HasPrefix(upper, "ORRCAP") {
-		v, err := strconv.ParseFloat(upper[6:], 64)
-		if err == nil {
-			return func() cluster.Policy { return sched.ORRCapped(v) }, nil
-		}
-	}
-	if strings.HasPrefix(upper, "ORR") {
-		pct, err := strconv.ParseFloat(upper[3:], 64)
-		if err == nil {
-			rel := pct / 100
-			return func() cluster.Policy { return sched.ORRWithLoadErrorUnstable(rel) }, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown policy %q", name)
-}
-
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q: %v", p, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values in %q", s)
-	}
-	return out, nil
+	return tables, ratio, nil
 }
 
 func fatal(err error) {

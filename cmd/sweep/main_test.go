@@ -1,10 +1,14 @@
 package main
 
 import (
-	"heterosched/internal/cluster"
 	"math"
 	"strings"
 	"testing"
+
+	"heterosched/internal/cli"
+	"heterosched/internal/cluster"
+	"heterosched/internal/dist"
+	"heterosched/internal/faults"
 )
 
 func TestSweepValues(t *testing.T) {
@@ -29,7 +33,7 @@ func TestSweepValues(t *testing.T) {
 	}
 }
 
-func TestSweepPolicyFactory(t *testing.T) {
+func TestSweepPolicyNames(t *testing.T) {
 	cases := map[string]string{
 		"ORR":      "ORR",
 		"ll":       "LL",
@@ -38,32 +42,27 @@ func TestSweepPolicyFactory(t *testing.T) {
 		"ORR-10":   "ORR(-10%)",
 	}
 	for in, want := range cases {
-		f, err := policyFactory(in)
+		f, err := cli.ParsePolicy(in, cli.PolicyOptions{Computers: 2})
 		if err != nil {
-			t.Errorf("policyFactory(%q): %v", in, err)
+			t.Errorf("ParsePolicy(%q): %v", in, err)
 			continue
 		}
 		if got := f().Name(); got != want {
-			t.Errorf("policyFactory(%q).Name() = %q, want %q", in, got, want)
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", in, got, want)
 		}
 	}
-	if _, err := policyFactory("nope"); err == nil {
+	if _, err := cli.ParsePolicy("nope", cli.PolicyOptions{}); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
 
 func TestRunSweepSmoke(t *testing.T) {
-	names := []string{"ORR", "WRR"}
-	var factories []cluster.PolicyFactory
-	for _, n := range names {
-		f, err := policyFactory(n)
-		if err != nil {
-			t.Fatal(err)
-		}
-		factories = append(factories, f)
+	names, factories, err := cli.ParsePolicies("ORR,WRR", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
 	tables, csvT, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1)
+		5000, 2, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,5 +72,33 @@ func TestRunSweepSmoke(t *testing.T) {
 	out := csvT.String()
 	if !strings.Contains(out, "ORR") || !strings.Contains(out, "0.6") {
 		t.Errorf("csv table missing content:\n%s", out)
+	}
+}
+
+// TestRunSweepWithFaults: a fault-enabled sweep grows the lost-jobs and
+// degraded-response tables.
+func TestRunSweepWithFaults(t *testing.T) {
+	fc := &faults.Config{
+		Uptime:   dist.NewExponential(2e3),
+		Downtime: dist.NewExponential(200),
+		Fate:     faults.RequeueToDispatcher,
+	}
+	var factories []cluster.PolicyFactory
+	names := []string{"ORR"}
+	f, err := cli.ParsePolicy("ORR", cli.PolicyOptions{Computers: 2, Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories = append(factories, f)
+	tables, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
+		1e4, 2, 1, 1, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5 (3 metrics + lost + degraded)", len(tables))
+	}
+	if s := tables[3].String(); !strings.Contains(s, "jobs lost") {
+		t.Errorf("missing lost table:\n%s", s)
 	}
 }

@@ -1,0 +1,64 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+)
+
+// AvailabilityAware plans an allocation against effective speeds
+// s_i · A_i, where A_i ∈ (0, 1] is computer i's long-run availability
+// (MTBF_i / (MTBF_i + MTTR_i), see internal/faults). A computer that is
+// down 10% of the time delivers only 90% of its nominal capacity over a
+// long run; planning against nominal speeds therefore systematically
+// overloads failure-prone computers. The wrapped base allocator sees the
+// derated speeds and a correspondingly inflated utilization, so its
+// fractions are optimal for the capacity the computers actually deliver.
+type AvailabilityAware struct {
+	// Base computes the allocation over the effective speeds (e.g.
+	// Optimized for an availability-aware Algorithm 1).
+	Base Allocator
+	// Availability holds A_i per computer, each in (0, 1]. A single
+	// entry applies uniformly to every computer.
+	Availability []float64
+}
+
+// Name appends "a" (for availability) to the base allocator's name.
+func (a AvailabilityAware) Name() string { return a.Base.Name() + "a" }
+
+// Allocate derates the speeds by availability, rescales the utilization
+// to the surviving capacity, and delegates to the base allocator. It
+// fails with ErrInfeasible when the offered load exceeds the effective
+// capacity even though it fits the nominal one.
+func (a AvailabilityAware) Allocate(speeds []float64, rho float64) ([]float64, error) {
+	if err := validate(speeds, rho); err != nil {
+		return nil, err
+	}
+	av := a.Availability
+	if len(av) == 1 {
+		uniform := make([]float64, len(speeds))
+		for i := range uniform {
+			uniform[i] = av[0]
+		}
+		av = uniform
+	}
+	if len(av) != len(speeds) {
+		return nil, fmt.Errorf("alloc: %d availabilities for %d computers", len(av), len(speeds))
+	}
+	eff := make([]float64, len(speeds))
+	sumS, sumEff := 0.0, 0.0
+	for i, s := range speeds {
+		if !(av[i] > 0) || av[i] > 1 || math.IsNaN(av[i]) {
+			return nil, fmt.Errorf("alloc: availability[%d] = %v outside (0,1]", i, av[i])
+		}
+		eff[i] = s * av[i]
+		sumS += s
+		sumEff += eff[i]
+	}
+	// The same offered load λ/μ = rho·Σs against the smaller effective
+	// capacity Σ(s·A) is a proportionally higher utilization.
+	rhoEff := rho * sumS / sumEff
+	if rhoEff >= 1 {
+		return nil, fmt.Errorf("%w: effective utilization %v after availability derating", ErrInfeasible, rhoEff)
+	}
+	return a.Base.Allocate(eff, rhoEff)
+}

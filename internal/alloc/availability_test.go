@@ -1,0 +1,103 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestAvailabilityAwareDerates: with one computer at availability 0.5,
+// the allocation must equal the base allocator run on the derated speed
+// vector at the inflated utilization.
+func TestAvailabilityAwareDerates(t *testing.T) {
+	speeds := []float64{1, 2, 4}
+	rho := 0.4
+	a := AvailabilityAware{Base: Proportional{}, Availability: []float64{1, 0.5, 1}}
+	got, err := a.Allocate(speeds, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective speeds {1, 1, 4}: proportional fractions 1/6, 1/6, 4/6.
+	want := []float64{1.0 / 6, 1.0 / 6, 4.0 / 6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("fraction[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAvailabilityAwareUniform: a single entry applies to all computers,
+// which for Proportional leaves the fractions unchanged (uniform derating
+// cancels in the normalization).
+func TestAvailabilityAwareUniform(t *testing.T) {
+	speeds := []float64{1, 3}
+	a := AvailabilityAware{Base: Proportional{}, Availability: []float64{0.9}}
+	got, err := a.Allocate(speeds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.75}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("fraction[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if a.Name() != "Wa" {
+		t.Errorf("name %q, want Wa", a.Name())
+	}
+}
+
+// TestAvailabilityAwareInfeasible: load that fits the nominal capacity
+// but not the derated one is rejected with ErrInfeasible.
+func TestAvailabilityAwareInfeasible(t *testing.T) {
+	a := AvailabilityAware{Base: Optimized{}, Availability: []float64{0.5}}
+	if _, err := a.Allocate([]float64{1, 1}, 0.6); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestAvailabilityAwareRejectsBadInputs covers validation paths.
+func TestAvailabilityAwareRejectsBadInputs(t *testing.T) {
+	base := Proportional{}
+	if _, err := (AvailabilityAware{Base: base, Availability: []float64{1, 0}}).Allocate([]float64{1, 1}, 0.3); err == nil {
+		t.Error("zero availability accepted")
+	}
+	if _, err := (AvailabilityAware{Base: base, Availability: []float64{1.2}}).Allocate([]float64{1, 1}, 0.3); err == nil {
+		t.Error("availability > 1 accepted")
+	}
+	if _, err := (AvailabilityAware{Base: base, Availability: []float64{1, 1, 1}}).Allocate([]float64{1, 1}, 0.3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestAvailabilityAwareOptimizedFeasible: the optimized allocation over
+// derated speeds must still be feasible against the true speeds (effective
+// capacity is a lower bound on real capacity).
+func TestAvailabilityAwareOptimizedFeasible(t *testing.T) {
+	speeds := []float64{1, 1, 2, 10}
+	rho := 0.5
+	a := AvailabilityAware{Base: Optimized{}, Availability: []float64{0.99, 0.99, 0.95, 0.8}}
+	fr, err := a.Allocate(speeds, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	lambdaOverMu := rho * total
+	for i, f := range fr {
+		sum += f
+		if f < -1e-12 {
+			t.Errorf("fraction[%d] = %v negative", i, f)
+		}
+		// Per-computer utilization against the TRUE speed stays < 1.
+		if u := f * lambdaOverMu / speeds[i]; u >= 1 {
+			t.Errorf("computer %d overloaded: utilization %v", i, u)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"heterosched/internal/dist"
+	"heterosched/internal/faults"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
 	"heterosched/internal/stats"
@@ -111,6 +112,12 @@ type Config struct {
 	// set to Arrivals.MeanRate()·E[size]/Σspeeds for consistency.
 	// Ignored when Replay is set.
 	Arrivals ArrivalProcess
+	// Faults, when non-nil and enabled, injects per-computer
+	// failure/repair processes (see internal/faults). With Faults nil or
+	// disabled the run is bit-identical to a build without the fault
+	// subsystem: no extra random stream is derived and no extra events
+	// are scheduled.
+	Faults *faults.Config
 }
 
 // ReplayJob is one recorded arrival for trace-driven simulation.
@@ -182,6 +189,9 @@ func (c Config) validate() error {
 			return fmt.Errorf("cluster: replay arrivals not sorted ascending at index %d", i)
 		}
 	}
+	if err := c.Faults.Validate(len(c.Speeds)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -232,6 +242,15 @@ type Policy interface {
 	Departed(job *sim.Job)
 }
 
+// FaultAware is implemented by policies that react to computer failures
+// and repairs. The run calls UpSetChanged — after the configured
+// detection lag — with the availability mask current at detection time;
+// policies typically stop dispatching to down computers and may
+// recompute their allocation over the survivors (sched.ReallocResolve).
+type FaultAware interface {
+	UpSetChanged(up []bool)
+}
+
 // Result aggregates one run's statistics over the post-warm-up jobs.
 type Result struct {
 	// Policy is the policy name.
@@ -263,6 +282,27 @@ type Result struct {
 	GeneratedJobs int64
 	// SimulatedTime is the time at which statistics collection ended.
 	SimulatedTime float64
+
+	// The remaining fields are populated only when Config.Faults enabled
+	// failure injection (Availability is nil otherwise).
+
+	// Availability[i] is the observed time-weighted fraction of the run
+	// computer i was up.
+	Availability []float64
+	// Failures and Repairs count fault events across all computers.
+	Failures, Repairs int64
+	// JobsLost counts jobs discarded (fate Lost, or requeue budget
+	// exhausted); JobsRequeued counts successful re-dispatches;
+	// JobsRestarted and JobsResumed count jobs held at a failed computer
+	// under the respective fates.
+	JobsLost, JobsRequeued, JobsRestarted, JobsResumed int64
+	// DegradedTime is the total time at least one computer was down.
+	DegradedTime float64
+	// DegradedJobs counts post-warm-up jobs that arrived while the
+	// system was degraded; MeanResponseTimeDegraded and
+	// MeanResponseRatioDegraded average over exactly those jobs.
+	DegradedJobs                                        int64
+	MeanResponseTimeDegraded, MeanResponseRatioDegraded float64
 }
 
 // FractionProvider is implemented by policies that know their target
@@ -334,6 +374,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	warmup := cfg.Duration * cfg.WarmupFraction
 
 	var respTime, respRatio stats.Accumulator
+	var respTimeDeg, respRatioDeg stats.Accumulator
 	// Response ratios range from 1/maxSpeed (an undisturbed job on the
 	// fastest computer) to arbitrarily large under congestion; log bins
 	// cover the practical range for percentile estimates.
@@ -347,6 +388,10 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			respTime.Add(j.ResponseTime())
 			respRatio.Add(j.ResponseRatio())
 			ratioHist.Add(j.ResponseRatio())
+			if j.Degraded {
+				respTimeDeg.Add(j.ResponseTime())
+				respRatioDeg.Add(j.ResponseRatio())
+			}
 			if cfg.OnDeparture != nil {
 				cfg.OnDeparture(j)
 			}
@@ -376,6 +421,60 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		devTracker = newDeviationTracker(fp.Fractions(), cfg.DeviationInterval)
 	}
 
+	// Failure injection. Everything here is gated on an enabled fault
+	// config so that fault-free runs stay bit-identical: no extra stream
+	// derivation, no extra events, no changed dispatch path.
+	var inj *faults.Injector
+	if cfg.Faults.Enabled() {
+		preempt := make([]sim.Preemptable, n)
+		for i, s := range servers {
+			p, ok := s.(sim.Preemptable)
+			if !ok {
+				return nil, fmt.Errorf("cluster: %v servers do not support eviction", cfg.Discipline)
+			}
+			preempt[i] = p
+		}
+		// notify tells a fault-aware policy the up-set as of detection
+		// time; flaps shorter than the detection lag collapse into one
+		// observation of the final state.
+		notify := func() {
+			if fa, ok := policy.(FaultAware); ok {
+				fa.UpSetChanged(inj.UpSet())
+			}
+		}
+		onChange := func(int) {
+			if _, ok := policy.(FaultAware); !ok {
+				return
+			}
+			if cfg.Faults.DetectionLag > 0 {
+				en.ScheduleAfter(cfg.Faults.DetectionLag, notify)
+			} else {
+				notify()
+			}
+		}
+		// Requeued jobs are re-dispatched through the policy but do not
+		// re-enter the job-fraction, deviation, or arrival counts: those
+		// track the scheduler's first dispatch decision per job.
+		requeue := func(j *sim.Job) {
+			target := policy.Select(j)
+			if target < 0 || target >= n {
+				panic(fmt.Sprintf("cluster: policy %s selected invalid computer %d", policy.Name(), target))
+			}
+			j.Target = target
+			inj.Arrive(target, j)
+		}
+		var err error
+		inj, err = faults.NewInjector(en, cfg.Faults, preempt, root.Derive("faults"), cfg.Duration, faults.Hooks{
+			OnFail:   onChange,
+			OnRepair: onChange,
+			Requeue:  requeue,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inj.Start()
+	}
+
 	var generated int64
 	// admit dispatches one job of the given size at the current time.
 	admit := func(size float64) {
@@ -398,7 +497,14 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		if devTracker != nil {
 			devTracker.observe(now, target)
 		}
-		servers[target].Arrive(j)
+		if inj != nil {
+			if inj.AnyDown() {
+				j.Degraded = true
+			}
+			inj.Arrive(target, j)
+		} else {
+			servers[target].Arrive(j)
+		}
 	}
 
 	if len(cfg.Replay) > 0 {
@@ -467,6 +573,23 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	}
 	if devTracker != nil {
 		res.Deviations = devTracker.deviations(cfg.Duration)
+	}
+	if inj != nil {
+		inj.Finish(endTime)
+		res.Availability = make([]float64, n)
+		for i := range res.Availability {
+			res.Availability[i] = inj.Availability(i)
+		}
+		res.Failures = inj.Failures()
+		res.Repairs = inj.Repairs()
+		res.JobsLost = inj.JobsLost()
+		res.JobsRequeued = inj.JobsRequeued()
+		res.JobsRestarted = inj.JobsRestarted()
+		res.JobsResumed = inj.JobsResumed()
+		res.DegradedTime = inj.DegradedTime()
+		res.DegradedJobs = respTimeDeg.N()
+		res.MeanResponseTimeDegraded = respTimeDeg.Mean()
+		res.MeanResponseRatioDegraded = respRatioDeg.Mean()
 	}
 	return res, nil
 }
@@ -545,6 +668,14 @@ type ReplicatedResult struct {
 	JobFractions []float64
 	// Utilizations[i] is the across-replication mean utilization.
 	Utilizations []float64
+	// Availability[i] is the across-replication mean observed
+	// availability of computer i; nil when the runs had no fault
+	// injection.
+	Availability []float64
+	// JobsLost and MeanResponseTimeDegraded summarize the fault metrics
+	// across replications (zero-valued without fault injection).
+	JobsLost                 Summary
+	MeanResponseTimeDegraded Summary
 	// Runs holds the individual run results, in replication order.
 	Runs []*Result
 }
@@ -664,9 +795,14 @@ func Aggregate(runs []*Result) (*ReplicatedResult, error) {
 		return nil, errors.New("cluster: no runs to aggregate")
 	}
 	n := len(runs[0].JobFractions)
-	var rt, rr, fair stats.Sample
+	var rt, rr, fair, lost, rtDeg stats.Sample
 	fractions := make([]float64, n)
 	utils := make([]float64, n)
+	withFaults := runs[0].Availability != nil
+	var avail []float64
+	if withFaults {
+		avail = make([]float64, n)
+	}
 	for _, run := range runs {
 		if len(run.JobFractions) != n {
 			return nil, fmt.Errorf("cluster: inconsistent computer counts (%d vs %d)", len(run.JobFractions), n)
@@ -678,8 +814,18 @@ func Aggregate(runs []*Result) (*ReplicatedResult, error) {
 			fractions[i] += run.JobFractions[i] / float64(len(runs))
 			utils[i] += run.Utilizations[i] / float64(len(runs))
 		}
+		if withFaults {
+			if run.Availability == nil {
+				return nil, errors.New("cluster: mixing fault-injected and fault-free runs")
+			}
+			lost.Add(float64(run.JobsLost))
+			rtDeg.Add(run.MeanResponseTimeDegraded)
+			for i := 0; i < n; i++ {
+				avail[i] += run.Availability[i] / float64(len(runs))
+			}
+		}
 	}
-	return &ReplicatedResult{
+	agg := &ReplicatedResult{
 		Policy:            runs[0].Policy,
 		MeanResponseTime:  Summary{rt.Mean(), rt.CI95(), rt.N()},
 		MeanResponseRatio: Summary{rr.Mean(), rr.CI95(), rr.N()},
@@ -687,5 +833,11 @@ func Aggregate(runs []*Result) (*ReplicatedResult, error) {
 		JobFractions:      fractions,
 		Utilizations:      utils,
 		Runs:              runs,
-	}, nil
+	}
+	if withFaults {
+		agg.Availability = avail
+		agg.JobsLost = Summary{lost.Mean(), lost.CI95(), lost.N()}
+		agg.MeanResponseTimeDegraded = Summary{rtDeg.Mean(), rtDeg.CI95(), rtDeg.N()}
+	}
+	return agg, nil
 }

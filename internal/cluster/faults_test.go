@@ -1,0 +1,186 @@
+package cluster_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/dist"
+	"heterosched/internal/faults"
+	"heterosched/internal/sched"
+)
+
+// faultTestConfig is a short fault-injected run used across the tests.
+func faultTestConfig(fc *faults.Config) cluster.Config {
+	return cluster.Config{
+		Speeds:         []float64{1, 1, 2, 10},
+		Utilization:    0.3,
+		Duration:       5e4,
+		WarmupFraction: -1, // no warm-up: every admitted job is counted
+		Seed:           7,
+		Faults:         fc,
+	}
+}
+
+// TestFaultsDisabledBitIdentical: a nil fault config and a present-but-
+// disabled one must produce byte-identical results — the fault subsystem
+// may not perturb fault-free runs in any way.
+func TestFaultsDisabledBitIdentical(t *testing.T) {
+	base := faultTestConfig(nil)
+	a, err := cluster.Run(base, sched.ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled := faultTestConfig(&faults.Config{})
+	b, err := cluster.Run(disabled, sched.ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("disabled fault config changed the result:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFaultsNeverFiringMatchesCoreMetrics: with the injector active but an
+// uptime distribution that never fails within the horizon, every job-level
+// metric must match the fault-free run exactly (the injector only wraps
+// the arrival path).
+func TestFaultsNeverFiringMatchesCoreMetrics(t *testing.T) {
+	plain, err := cluster.Run(faultTestConfig(nil), sched.ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &faults.Config{
+		Uptime:   dist.Deterministic{Value: math.Inf(1)},
+		Downtime: dist.Deterministic{Value: 1},
+	}
+	injected, err := cluster.Run(faultTestConfig(fc), sched.ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MeanResponseTime != injected.MeanResponseTime ||
+		plain.MeanResponseRatio != injected.MeanResponseRatio ||
+		plain.Fairness != injected.Fairness ||
+		plain.Jobs != injected.Jobs ||
+		plain.GeneratedJobs != injected.GeneratedJobs ||
+		!reflect.DeepEqual(plain.JobFractions, injected.JobFractions) ||
+		!reflect.DeepEqual(plain.Utilizations, injected.Utilizations) {
+		t.Errorf("never-firing injector changed core metrics:\n%+v\nvs\n%+v", plain, injected)
+	}
+	if injected.Failures != 0 || injected.JobsLost != 0 {
+		t.Errorf("spurious fault events: %d failures, %d lost", injected.Failures, injected.JobsLost)
+	}
+	for i, a := range injected.Availability {
+		if a != 1 {
+			t.Errorf("availability[%d] = %v, want 1", i, a)
+		}
+	}
+}
+
+// TestFaultsDeterministic: two runs of the same fault-injected
+// configuration must agree byte for byte, for each fate policy and both
+// reallocation modes.
+func TestFaultsDeterministic(t *testing.T) {
+	for _, fate := range []faults.Fate{faults.Lost, faults.RestartInPlace, faults.ResumeOnRepair, faults.RequeueToDispatcher} {
+		for _, mode := range []sched.ReallocMode{sched.ReallocStale, sched.ReallocResolve} {
+			fc := &faults.Config{
+				Uptime:       dist.NewExponential(5e3),
+				Downtime:     dist.NewExponential(500),
+				Fate:         fate,
+				DetectionLag: 10,
+			}
+			mk := func() *sched.Static {
+				p := sched.ORR()
+				p.Realloc = mode
+				return p
+			}
+			a, err := cluster.Run(faultTestConfig(fc), mk())
+			if err != nil {
+				t.Fatalf("fate %v mode %v: %v", fate, mode, err)
+			}
+			b, err := cluster.Run(faultTestConfig(fc), mk())
+			if err != nil {
+				t.Fatalf("fate %v mode %v: %v", fate, mode, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("fate %v mode %v: repeated run differs:\n%+v\nvs\n%+v", fate, mode, a, b)
+			}
+			if a.Failures == 0 {
+				t.Errorf("fate %v mode %v: no failures injected (bad test parameters)", fate, mode)
+			}
+			if a.Failures != a.Repairs {
+				t.Errorf("fate %v mode %v: %d failures but %d repairs (drain must repair everything)",
+					fate, mode, a.Failures, a.Repairs)
+			}
+		}
+	}
+}
+
+// TestFaultsJobConservation: with no warm-up and draining enabled, every
+// admitted job either completes or is lost — under hold fates none may be
+// lost, under Lost/requeue the counts must balance exactly.
+func TestFaultsJobConservation(t *testing.T) {
+	for _, tc := range []struct {
+		fate      faults.Fate
+		mayLose   bool
+		wantExact bool
+	}{
+		{faults.Lost, true, true},
+		{faults.RestartInPlace, false, true},
+		{faults.ResumeOnRepair, false, true},
+		{faults.RequeueToDispatcher, true, true},
+	} {
+		fc := &faults.Config{
+			Uptime:   dist.NewExponential(5e3),
+			Downtime: dist.NewExponential(500),
+			Fate:     tc.fate,
+		}
+		res, err := cluster.Run(faultTestConfig(fc), sched.ORR())
+		if err != nil {
+			t.Fatalf("fate %v: %v", tc.fate, err)
+		}
+		if got := res.Jobs + res.JobsLost; got != res.GeneratedJobs {
+			t.Errorf("fate %v: %d completed + %d lost != %d generated",
+				tc.fate, res.Jobs, res.JobsLost, res.GeneratedJobs)
+		}
+		if !tc.mayLose && res.JobsLost != 0 {
+			t.Errorf("fate %v: lost %d jobs", tc.fate, res.JobsLost)
+		}
+		for i, a := range res.Availability {
+			if !(a > 0 && a < 1) {
+				t.Errorf("fate %v: availability[%d] = %v outside (0,1)", tc.fate, i, a)
+			}
+		}
+		if res.DegradedTime <= 0 || res.DegradedTime >= res.SimulatedTime {
+			t.Errorf("fate %v: degraded time %v of %v implausible", tc.fate, res.DegradedTime, res.SimulatedTime)
+		}
+	}
+}
+
+// TestFaultsDegradedConditioning: jobs arriving during an outage are
+// attributed to the degraded metrics, and the degraded mean response time
+// is at least the overall one in a regime where outages hurt.
+func TestFaultsDegradedConditioning(t *testing.T) {
+	fc := &faults.Config{
+		Uptime:   dist.NewExponential(3e3),
+		Downtime: dist.NewExponential(1e3),
+		Fate:     faults.ResumeOnRepair,
+	}
+	res, err := cluster.Run(faultTestConfig(fc), sched.ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedJobs == 0 {
+		t.Fatal("no degraded jobs observed (bad test parameters)")
+	}
+	if res.DegradedJobs >= res.Jobs {
+		t.Errorf("all %d jobs degraded, expected a mix", res.Jobs)
+	}
+	// Holding work through outages must make degraded-window jobs slower
+	// on average than the overall population.
+	if res.MeanResponseTimeDegraded <= res.MeanResponseTime {
+		t.Errorf("degraded mean response %v not above overall %v",
+			res.MeanResponseTimeDegraded, res.MeanResponseTime)
+	}
+}

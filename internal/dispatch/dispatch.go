@@ -70,8 +70,14 @@ func checkFractions(fractions []float64) ([]float64, error) {
 // cumulative vector, O(n) worst case but cache-friendly for the small n of
 // the paper's systems.
 type Random struct {
+	fr  []float64
 	cum []float64
 	st  *rng.Stream
+
+	// maskedCum replaces cum while an up-set mask is active (SetUp);
+	// lastUp is the highest selectable index, the rounding fallback.
+	maskedCum []float64
+	lastUp    int
 }
 
 // NewRandom returns a random dispatcher over the given fractions using the
@@ -88,20 +94,27 @@ func NewRandom(fractions []float64, st *rng.Stream) (*Random, error) {
 		cum[i] = run
 	}
 	cum[len(cum)-1] = 1 // absorb rounding
-	return &Random{cum: cum, st: st}, nil
+	return &Random{fr: fr, cum: cum, st: st}, nil
 }
 
 func (r *Random) Name() string { return "RAN" }
 func (r *Random) N() int       { return len(r.cum) }
 
 func (r *Random) Next() int {
+	cum := r.cum
+	if r.maskedCum != nil {
+		cum = r.maskedCum
+	}
 	u := r.st.Float64()
-	for i, c := range r.cum {
+	for i, c := range cum {
 		if u < c {
 			return i
 		}
 	}
-	return len(r.cum) - 1
+	if r.maskedCum != nil {
+		return r.lastUp
+	}
+	return len(cum) - 1
 }
 
 // RoundRobin is the paper's Algorithm 2: round-robin based job
@@ -123,6 +136,14 @@ type RoundRobin struct {
 	fractions []float64
 	assign    []int64
 	next      []float64
+
+	// up and eff support failure masking (SetUp): eff holds the
+	// fractions renormalized over the up computers (eff == fractions
+	// when no mask is active), and down computers are frozen — never
+	// selected, and their next counters stop decrementing so a repaired
+	// computer rejoins the rotation without a burst.
+	up  []bool
+	eff []float64
 }
 
 // NewRoundRobin returns a smoothed round-robin dispatcher over the given
@@ -137,23 +158,28 @@ func NewRoundRobin(fractions []float64) (*RoundRobin, error) {
 		assign:    make([]int64, len(fr)),
 		next:      make([]float64, len(fr)),
 	}
+	rr.eff = rr.fractions
 	for i := range rr.next {
 		rr.next[i] = 1 // guard value (step 1.b)
 	}
 	return rr, nil
 }
 
+// isUp reports whether computer i is selectable (no mask means all up).
+func (rr *RoundRobin) isUp(i int) bool { return rr.up == nil || rr.up[i] }
+
 func (rr *RoundRobin) Name() string { return "RR" }
 func (rr *RoundRobin) N() int       { return len(rr.fractions) }
 
 func (rr *RoundRobin) Next() int {
 	// Steps 2.b–2.c: select the computer with minimum next, breaking ties
-	// by the smaller normalized assignment count.
+	// by the smaller normalized assignment count. Down computers are
+	// skipped and their counters frozen.
 	sel := -1
 	minNext := math.Inf(1)
 	norAssign := -1.0
-	for i, f := range rr.fractions {
-		if f == 0 {
+	for i, f := range rr.eff {
+		if f == 0 || !rr.isUp(i) {
 			continue // step 2.c.1: never select zero-fraction computers
 		}
 		switch {
@@ -167,18 +193,18 @@ func (rr *RoundRobin) Next() int {
 		}
 	}
 	if sel < 0 {
-		panic("dispatch: all fractions zero") // impossible: Σα = 1
+		panic("dispatch: all fractions zero") // impossible: Σα = 1 over the up-set
 	}
 	// Step 2.d: a computer's first selection resets its guard value.
 	if rr.assign[sel] == 0 {
 		rr.next[sel] = 0
 	}
 	// Steps 2.e–2.f: schedule its next turn 1/α ahead; count the job.
-	rr.next[sel] += 1 / rr.fractions[sel]
+	rr.next[sel] += 1 / rr.eff[sel]
 	rr.assign[sel]++
 	// Step 2.h: one system arrival has elapsed for every started computer.
 	for i := range rr.next {
-		if rr.assign[i] != 0 {
+		if rr.assign[i] != 0 && rr.isUp(i) {
 			rr.next[i]--
 		}
 	}
@@ -198,6 +224,9 @@ type CyclicWRR struct {
 	sent  []int64 // sent in current cycle
 	ptr   int
 	name  string
+
+	up      []bool // availability mask (nil = all up)
+	upQuota int64  // Σ quota over the up computers
 }
 
 // NewCyclicWRR builds a cyclic WRR dispatcher whose integer quotas
@@ -242,6 +271,9 @@ func (c *CyclicWRR) Name() string { return "cyclicWRR" }
 func (c *CyclicWRR) N() int       { return len(c.quota) }
 
 func (c *CyclicWRR) Next() int {
+	if c.up != nil {
+		return c.nextMasked()
+	}
 	for tries := 0; tries < len(c.quota)+1; tries++ {
 		if c.sent[c.ptr] < c.quota[c.ptr] {
 			c.sent[c.ptr]++

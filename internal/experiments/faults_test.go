@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtFaultsShape: the failure study runs all nine variants, and
+// re-solving the allocation over the surviving computers beats keeping
+// the stale one for ORR — at light load Algorithm 1 puts everything on
+// the speed-10 computer, so a stale allocation equal-splits over the
+// three slow survivors during its outages while resolve re-optimizes.
+func TestExtFaultsShape(t *testing.T) {
+	res, err := ExtFaults(Options{Scale: 0.05, Reps: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 9 {
+		t.Fatalf("got %d rows: %v", len(res.Labels), res.Labels)
+	}
+	idx := func(label string) int {
+		for i, l := range res.Labels {
+			if l == label {
+				return i
+			}
+		}
+		t.Fatalf("row %q missing from %v", label, res.Labels)
+		return -1
+	}
+	stale := res.Times[idx("ORR (stale)")].Mean
+	resolve := res.Times[idx("ORR (resolve)")].Mean
+	if !(resolve < stale) {
+		t.Errorf("ORR resolve mean response time %v not below stale %v", resolve, stale)
+	}
+	// The gap comes from the degraded windows: conditioned on degraded
+	// operation, resolve must win clearly.
+	staleDeg := res.DegradedRT[idx("ORR (stale)")].Mean
+	resolveDeg := res.DegradedRT[idx("ORR (resolve)")].Mean
+	if !(resolveDeg < staleDeg) {
+		t.Errorf("ORR resolve degraded response %v not below stale %v", resolveDeg, staleDeg)
+	}
+	// Observed availability tracks the planned MTBF/(MTBF+MTTR) ≈ 0.909.
+	for i, a := range res.Avail {
+		if a < 0.8 || a > 0.98 {
+			t.Errorf("%s: system availability %v implausible", res.Labels[i], a)
+		}
+	}
+	out := res.Render().String()
+	for _, want := range []string{"ORR (stale)", "ORR (resolve)", "ORRa (resolve)", "availability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -94,6 +94,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: []*report.Table{r.Render()}}, nil
 	},
+	"ext-faults": func(o Options) (*Output, error) {
+		r, err := ExtFaults(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

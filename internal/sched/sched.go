@@ -20,6 +20,7 @@ import (
 	"heterosched/internal/alloc"
 	"heterosched/internal/cluster"
 	"heterosched/internal/dispatch"
+	"heterosched/internal/rng"
 	"heterosched/internal/sim"
 )
 
@@ -49,6 +50,45 @@ func (k DispatchKind) String() string {
 	}
 }
 
+// ReallocMode selects how a static policy reacts when it learns that the
+// set of up computers changed (fault injection, cluster.FaultAware).
+type ReallocMode int
+
+const (
+	// ReallocStale keeps the original allocation fractions and merely
+	// renormalizes them over the surviving computers (the oblivious
+	// baseline: the scheduler stops routing into dead computers but does
+	// not rethink the split).
+	ReallocStale ReallocMode = iota
+	// ReallocResolve re-runs the policy's allocator over the surviving
+	// speeds at the effective utilization λ/(μ Σ_up s_i) on every up-set
+	// change, so the split adapts to the degraded capacity.
+	ReallocResolve
+)
+
+// String returns the mode mnemonic.
+func (m ReallocMode) String() string {
+	switch m {
+	case ReallocStale:
+		return "stale"
+	case ReallocResolve:
+		return "resolve"
+	default:
+		return fmt.Sprintf("ReallocMode(%d)", int(m))
+	}
+}
+
+// ParseReallocMode parses a mode mnemonic (as accepted by the CLIs).
+func ParseReallocMode(s string) (ReallocMode, error) {
+	switch s {
+	case "stale":
+		return ReallocStale, nil
+	case "resolve":
+		return ReallocResolve, nil
+	}
+	return 0, fmt.Errorf("sched: unknown realloc mode %q (want stale or resolve)", s)
+}
+
 // Static is a static scheduling policy: allocation fractions are computed
 // once at initialization from average system behavior (speeds and
 // utilization) and jobs are dispatched online by a stateless-per-job rule.
@@ -57,13 +97,19 @@ type Static struct {
 	Kind      DispatchKind
 	// Label overrides the derived name when non-empty.
 	Label string
+	// Realloc selects the reaction to computer failures (only relevant
+	// when the run injects faults; default ReallocStale).
+	Realloc ReallocMode
 
-	fractions  []float64
-	dispatcher dispatch.Dispatcher
+	ctx         *cluster.Context
+	dispatchRNG *rng.Stream
+	fractions   []float64
+	dispatcher  dispatch.Dispatcher
 }
 
 var _ cluster.Policy = (*Static)(nil)
 var _ cluster.FractionProvider = (*Static)(nil)
+var _ cluster.FaultAware = (*Static)(nil)
 
 // Name returns the policy label (e.g. "ORR" for optimized allocation with
 // round-robin dispatch).
@@ -77,25 +123,34 @@ func (s *Static) Name() string {
 // Init computes the allocation for the run's speeds and utilization and
 // builds the dispatcher.
 func (s *Static) Init(ctx *cluster.Context) error {
+	s.ctx = ctx
+	// Derived once and reused across dispatcher rebuilds (UpSetChanged),
+	// so the random-dispatch sequence continues instead of restarting.
+	// Derivation does not consume parent stream state.
+	s.dispatchRNG = ctx.RNG.Derive("dispatch")
 	fr, err := s.Allocator.Allocate(ctx.Speeds, ctx.Utilization)
 	if err != nil {
 		return fmt.Errorf("sched: %s allocation: %w", s.Name(), err)
 	}
 	s.fractions = fr
-	switch s.Kind {
-	case RandomDispatch:
-		s.dispatcher, err = dispatch.NewRandom(fr, ctx.RNG.Derive("dispatch"))
-	case RoundRobinDispatch:
-		s.dispatcher, err = dispatch.NewRoundRobin(fr)
-	case CyclicDispatch:
-		s.dispatcher, err = dispatch.NewCyclicWRR(fr, 1000)
-	default:
-		return fmt.Errorf("sched: unknown dispatch kind %v", s.Kind)
-	}
-	if err != nil {
+	if s.dispatcher, err = s.newDispatcher(fr); err != nil {
 		return fmt.Errorf("sched: %s dispatcher: %w", s.Name(), err)
 	}
 	return nil
+}
+
+// newDispatcher builds the configured dispatcher kind over fr.
+func (s *Static) newDispatcher(fr []float64) (dispatch.Dispatcher, error) {
+	switch s.Kind {
+	case RandomDispatch:
+		return dispatch.NewRandom(fr, s.dispatchRNG)
+	case RoundRobinDispatch:
+		return dispatch.NewRoundRobin(fr)
+	case CyclicDispatch:
+		return dispatch.NewCyclicWRR(fr, 1000)
+	default:
+		return nil, fmt.Errorf("sched: unknown dispatch kind %v", s.Kind)
+	}
 }
 
 // Select dispatches the next job.
@@ -103,6 +158,80 @@ func (s *Static) Select(*sim.Job) int { return s.dispatcher.Next() }
 
 // Departed is a no-op: static policies ignore system state.
 func (s *Static) Departed(*sim.Job) {}
+
+// UpSetChanged reacts to a detected failure or repair: under
+// ReallocResolve the allocator is re-run over the surviving speeds and
+// the dispatcher rebuilt; in both modes the dispatcher is then masked so
+// it never selects a down computer. With every computer down the previous
+// mask is kept — there is no good routing decision, and jobs keep
+// queueing until a repair is detected.
+func (s *Static) UpSetChanged(up []bool) {
+	if s.dispatcher == nil || len(up) != len(s.ctx.Speeds) {
+		return
+	}
+	nUp := 0
+	for _, u := range up {
+		if u {
+			nUp++
+		}
+	}
+	if nUp == 0 {
+		return
+	}
+	if s.Realloc == ReallocResolve {
+		fr := s.resolveFractions(up)
+		if d, err := s.newDispatcher(fr); err == nil {
+			s.fractions = fr
+			s.dispatcher = d
+		}
+	}
+	if m, ok := s.dispatcher.(dispatch.Masked); ok {
+		if nUp == len(up) {
+			_ = m.SetUp(nil)
+		} else {
+			_ = m.SetUp(up)
+		}
+	}
+}
+
+// resolveFractions re-runs the allocator over the surviving computers at
+// the utilization the offered load implies for the reduced capacity,
+// returning full-length fractions with zeros at down computers. If the
+// degraded system is saturated (or the allocator fails), it falls back to
+// a speed-proportional split over the survivors — degraded but stable
+// routing beats refusing to adapt.
+func (s *Static) resolveFractions(up []bool) []float64 {
+	speeds := s.ctx.Speeds
+	upSpeeds := make([]float64, 0, len(speeds))
+	idx := make([]int, 0, len(speeds))
+	sumAll, sumUp := 0.0, 0.0
+	for i, sp := range speeds {
+		sumAll += sp
+		if up[i] {
+			upSpeeds = append(upSpeeds, sp)
+			idx = append(idx, i)
+			sumUp += sp
+		}
+	}
+	rhoEff := s.ctx.Utilization * sumAll / sumUp
+	if rhoEff >= 1 {
+		rhoEff = 1 - 1e-9
+	}
+	fr, err := s.Allocator.Allocate(upSpeeds, rhoEff)
+	if err != nil {
+		fr, err = alloc.Proportional{}.Allocate(upSpeeds, rhoEff)
+		if err != nil {
+			// Unreachable for positive speeds and rho < 1; keep the
+			// current fractions rather than corrupt them.
+			return s.fractions
+		}
+	}
+	full := make([]float64, len(speeds))
+	for k, i := range idx {
+		full[i] = fr[k]
+	}
+	return full
+}
 
 // Fractions returns the computed allocation (valid after Init).
 func (s *Static) Fractions() []float64 {
@@ -127,6 +256,18 @@ func WRR() *Static { return &Static{Allocator: alloc.Proportional{}, Kind: Round
 // ORR is the paper's headline policy: optimized allocation with
 // round-robin dispatching.
 func ORR() *Static { return &Static{Allocator: alloc.Optimized{}, Kind: RoundRobinDispatch} }
+
+// ORRAvailability is ORR planned against effective speeds s_i·A_i, where
+// A_i is computer i's long-run availability (alloc.AvailabilityAware): a
+// failure-prone computer gets less work even while it is up, trading a
+// little best-case response time for much less exposure when it fails.
+func ORRAvailability(avail []float64) *Static {
+	return &Static{
+		Allocator: alloc.AvailabilityAware{Base: alloc.Optimized{}, Availability: avail},
+		Kind:      RoundRobinDispatch,
+		Label:     "ORRa",
+	}
+}
 
 // ORRWithLoadError is ORR computed against a mis-estimated utilization
 // (§5.4): relErr = −0.10 underestimates the load by 10%. Allocations that
@@ -189,9 +330,11 @@ type LeastLoad struct {
 
 	ctx  *cluster.Context
 	load []int64
+	up   []bool
 }
 
 var _ cluster.Policy = (*LeastLoad)(nil)
+var _ cluster.FaultAware = (*LeastLoad)(nil)
 
 // NewLeastLoad returns the paper-parameterized Dynamic Least-Load policy.
 func NewLeastLoad() *LeastLoad { return &LeastLoad{} }
@@ -217,20 +360,40 @@ func (l *LeastLoad) Init(ctx *cluster.Context) error {
 	return nil
 }
 
-// Select picks the computer with the least normalized load and charges the
-// new job to it immediately.
+// Select picks the computer with the least normalized load among the
+// known-up computers and charges the new job to it immediately. If every
+// computer is believed down, it falls back to the full set (the job will
+// queue at its target until repair).
 func (l *LeastLoad) Select(*sim.Job) int {
 	best := -1
 	bestVal := math.Inf(1)
 	for i, s := range l.ctx.Speeds {
+		if l.up != nil && !l.up[i] {
+			continue
+		}
 		v := float64(l.load[i]+1) / s
 		if v < bestVal {
 			bestVal = v
 			best = i
 		}
 	}
+	if best < 0 {
+		for i, s := range l.ctx.Speeds {
+			v := float64(l.load[i]+1) / s
+			if v < bestVal {
+				bestVal = v
+				best = i
+			}
+		}
+	}
 	l.load[best]++
 	return best
+}
+
+// UpSetChanged records the detected availability mask so Select avoids
+// down computers.
+func (l *LeastLoad) UpSetChanged(up []bool) {
+	l.up = append(l.up[:0], up...)
 }
 
 // Departed schedules the delayed load-index decrement.

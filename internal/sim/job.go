@@ -17,6 +17,17 @@ type Job struct {
 	Completion float64
 	// Target is the index of the computer the scheduler selected.
 	Target int
+	// Remaining is the unserved demand in seconds at speed 1, set by
+	// Preemptable.Evict when the job is pulled off a failed computer and
+	// consumed by Resume. It is zero for jobs that never lived through a
+	// failure.
+	Remaining float64
+	// Retries counts how many times the job has been re-dispatched after
+	// a computer failure (RequeueToDispatcher fate policy).
+	Retries int
+	// Degraded records that the job arrived while at least one computer
+	// was down, for response-time conditioning on degraded windows.
+	Degraded bool
 
 	// attained is the virtual-time target used internally by PS servers,
 	// or the remaining work for quantum/FCFS servers.
@@ -43,4 +54,19 @@ type Server interface {
 	// BusyTime returns the cumulative time the server has been non-idle,
 	// up to the current engine time.
 	BusyTime() float64
+}
+
+// Preemptable is a Server whose jobs can be forcibly removed — a computer
+// failure — and later re-admitted with whatever demand they had left. All
+// three server disciplines in this package implement it.
+type Preemptable interface {
+	Server
+	// Evict removes every job from the server (in service and queued),
+	// sets each job's Remaining field to its unserved demand at speed 1,
+	// and returns the jobs. The server is idle afterwards; busy time is
+	// charged up to the current engine time.
+	Evict() []*Job
+	// Resume re-admits an evicted job with service demand Remaining
+	// (rather than Size). A job with zero Remaining departs immediately.
+	Resume(j *Job)
 }

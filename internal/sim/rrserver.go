@@ -16,8 +16,9 @@ type RRServer struct {
 	quantum  float64 // slice length in seconds of wall time
 	onDepart func(*Job)
 
-	queue   []*Job // FIFO run queue; queue[0] is running
-	sliceEv *Event
+	queue      []*Job // FIFO run queue; queue[0] is running
+	sliceEv    *Event
+	sliceStart float64 // engine time the current slice began
 
 	busyTime  float64
 	busySince float64
@@ -70,6 +71,7 @@ func (s *RRServer) startSlice() {
 	if need := head.attained / s.speed; need < sliceTime {
 		sliceTime = need
 	}
+	s.sliceStart = s.engine.Now()
 	s.sliceEv = s.engine.ScheduleAfter(sliceTime, func() { s.endSlice(sliceTime) })
 }
 
@@ -109,7 +111,9 @@ type FCFSServer struct {
 	speed    float64
 	onDepart func(*Job)
 
-	queue []*Job
+	queue     []*Job
+	headEv    *Event
+	headStart float64 // engine time the head job began service
 
 	busyTime  float64
 	busySince float64
@@ -146,6 +150,7 @@ func (s *FCFSServer) Arrive(j *Job) {
 	if !(j.Size > 0) {
 		panic(fmt.Sprintf("sim: job %d has non-positive size %v", j.ID, j.Size))
 	}
+	j.attained = j.Size // remaining work at speed 1
 	s.queue = append(s.queue, j)
 	if len(s.queue) == 1 {
 		s.busySince = s.engine.Now()
@@ -155,7 +160,9 @@ func (s *FCFSServer) Arrive(j *Job) {
 
 func (s *FCFSServer) startHead() {
 	head := s.queue[0]
-	s.engine.ScheduleAfter(head.Size/s.speed, func() {
+	s.headStart = s.engine.Now()
+	s.headEv = s.engine.ScheduleAfter(head.attained/s.speed, func() {
+		s.headEv = nil
 		s.queue = s.queue[1:]
 		head.Completion = s.engine.Now()
 		s.departed++

@@ -9,12 +9,23 @@ import (
 	"heterosched/internal/rng"
 )
 
+// stressN scales a stress-test iteration count down under -short so the
+// suite stays quick under the race detector (`make check` runs
+// `go test -race -short ./...`; `make stress` runs the full counts).
+func stressN(full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
 // TestEngineHeapOrderingRandomized schedules events at random times with
 // random cancellations and verifies the firing order is exactly the
 // time-sorted order of surviving events.
 func TestEngineHeapOrderingRandomized(t *testing.T) {
 	st := rng.New(99)
-	for trial := 0; trial < 50; trial++ {
+	trials := stressN(50)
+	for trial := 0; trial < trials; trial++ {
 		var en Engine
 		type ev struct {
 			time      float64
@@ -73,13 +84,14 @@ func TestEngineClockMonotone(t *testing.T) {
 	last := -1.0
 	var spawn func()
 	count := 0
+	target := stressN(5000)
 	spawn = func() {
 		now := en.Now()
 		if now < last {
 			t.Fatalf("clock went backwards: %v after %v", now, last)
 		}
 		last = now
-		if count < 5000 {
+		if count < target {
 			count++
 			en.ScheduleAfter(st.Float64()*3, spawn)
 		}
@@ -88,7 +100,7 @@ func TestEngineClockMonotone(t *testing.T) {
 	en.Schedule(0, spawn)
 	en.Schedule(0, spawn)
 	en.RunUntil(math.Inf(1))
-	if count < 5000 {
+	if count < target {
 		t.Fatalf("only %d events fired", count)
 	}
 }
@@ -140,7 +152,7 @@ func TestPSServerConservation(t *testing.T) {
 	s := NewPSServer(&en, 2.0, func(j *Job) {
 		completions = append(completions, done{j.ID, j.Completion, j.Size, j.Arrival})
 	})
-	const jobs = 5000
+	jobs := int64(stressN(5000))
 	tm := 0.0
 	for i := int64(1); i <= jobs; i++ {
 		tm += st.Exp(1.0)
@@ -150,7 +162,7 @@ func TestPSServerConservation(t *testing.T) {
 	}
 	en.RunUntil(math.Inf(1))
 
-	if len(completions) != jobs {
+	if int64(len(completions)) != jobs {
 		t.Fatalf("completed %d jobs, want %d", len(completions), jobs)
 	}
 	seen := map[int64]bool{}
@@ -227,14 +239,14 @@ func TestRRServerConservation(t *testing.T) {
 	var count int
 	s := NewRRServer(&en, 1.0, 0.25, func(*Job) { count++ })
 	tm := 0.0
-	const jobs = 1000
+	jobs := int64(stressN(1000))
 	for i := int64(1); i <= jobs; i++ {
 		tm += st.Exp(2.0)
 		j := &Job{ID: i, Size: st.Exp(1.0), Arrival: tm}
 		en.Schedule(tm, func() { s.Arrive(j) })
 	}
 	en.RunUntil(math.Inf(1))
-	if count != jobs {
+	if int64(count) != jobs {
 		t.Fatalf("completed %d, want %d", count, jobs)
 	}
 	if s.InService() != 0 {
@@ -249,7 +261,8 @@ func TestEngineManyCancellations(t *testing.T) {
 	var en Engine
 	st := rng.New(23)
 	fired := 0
-	for round := 0; round < 1000; round++ {
+	rounds := stressN(1000)
+	for round := 0; round < rounds; round++ {
 		var keep *Event
 		for k := 0; k < 10; k++ {
 			ev := en.ScheduleAfter(st.Float64()*10, func() { fired++ })
@@ -261,8 +274,8 @@ func TestEngineManyCancellations(t *testing.T) {
 		// Only the last of each batch survives.
 	}
 	en.RunUntil(math.Inf(1))
-	if fired != 1000 {
-		t.Fatalf("fired %d, want 1000", fired)
+	if fired != rounds {
+		t.Fatalf("fired %d, want %d", fired, rounds)
 	}
 	if en.Pending() != 0 {
 		t.Fatalf("pending %d after drain", en.Pending())

@@ -272,10 +272,18 @@ type TimeWeighted struct {
 	duration float64
 }
 
-// Update records that the signal had value v from the previous update time
-// until time t, and is v' (the next Update's v) afterwards. Call it with
-// the *old* value ending at t? No: Update(t, v) states that from time t
-// onward the signal value is v; the previous value is integrated up to t.
+// Update records that the signal takes value v from time t onward. The
+// previously recorded value is integrated over [lastT, t] first, so calls
+// must be made in non-decreasing time order (Update panics if t moves
+// backwards).
+//
+// Equal timestamps are explicitly allowed: Update(t, v) with t equal to
+// the previous update time integrates a zero-length segment (adding
+// nothing to the area or duration) and simply replaces the current value.
+// This matters for simulations where two state changes share an instant —
+// e.g. a computer repaired at the very moment a run ends, or a failure
+// processed in the same event batch as a departure; the last value set at
+// t wins from t onward.
 func (tw *TimeWeighted) Update(t, v float64) {
 	if tw.started {
 		dt := t - tw.lastT

@@ -216,6 +216,28 @@ func TestTimeWeightedReset(t *testing.T) {
 	approx(t, tw.Duration(), 10, 1e-12, "duration after reset")
 }
 
+// TestTimeWeightedEqualTimestamps: updates at the same instant are legal
+// zero-length segments — the last value set at t wins from t onward, and
+// neither area nor duration changes.
+func TestTimeWeightedEqualTimestamps(t *testing.T) {
+	var tw TimeWeighted
+	tw.Update(0, 1)
+	tw.Update(2, 0) // failure at t=2...
+	tw.Update(2, 1) // ...repaired in the same event batch
+	tw.Finish(4)
+	// The zero-length down segment contributes nothing: value 1 on [0,4).
+	approx(t, tw.Area(), 4, 1e-12, "area with zero-length segment")
+	approx(t, tw.Duration(), 4, 1e-12, "duration with zero-length segment")
+	approx(t, tw.Mean(), 1, 1e-12, "mean with zero-length segment")
+
+	// Finish at the last update time is also a zero-length segment.
+	var tw2 TimeWeighted
+	tw2.Update(0, 3)
+	tw2.Update(5, 7)
+	tw2.Finish(5)
+	approx(t, tw2.Mean(), 3, 1e-12, "mean when Finish coincides with last update")
+}
+
 func TestTimeWeightedBackwardsPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
