@@ -13,6 +13,13 @@
 // computers fail and recover; -fate selects what happens to interrupted
 // jobs, -realloc whether static policies re-solve their allocation over
 // the survivors.
+//
+// Overload protection: -qcap bounds each computer's queue, -admit picks
+// an admission policy, -deadline attaches per-job deadlines, and
+// -timeout/-retry/-backoff/-breaker give the dispatcher timeouts with
+// exponential backoff and per-computer circuit breakers. With any of
+// these set, the run reports goodput vs. throughput and the drop
+// breakdown; rho may exceed 1 to study saturation.
 package main
 
 import (
@@ -31,7 +38,7 @@ import (
 
 func main() {
 	speedsFlag := flag.String("speeds", "1,1,1,1,10,10", "comma-separated relative computer speeds")
-	rho := flag.Float64("rho", 0.7, "system utilization in [0,1)")
+	rho := flag.Float64("rho", 0.7, "offered utilization; >= 1 simulates overload")
 	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx, ORR±e")
 	duration := flag.Float64("duration", 4e5, "simulated seconds per replication (paper: 4e6)")
 	reps := flag.Int("reps", 3, "independent replications (paper: 10)")
@@ -47,6 +54,13 @@ func main() {
 	retries := flag.Int("retries", 3, "re-dispatch budget per job under -fate requeue")
 	detect := flag.Float64("detect", 0, "failure/repair detection lag in seconds")
 	realloc := flag.String("realloc", "stale", "static policies on failure: stale (keep fractions) or resolve (re-run allocator)")
+	qcap := flag.String("qcap", "", "per-computer queue bound: K or K:oldest|newest (0/empty disables)")
+	admit := flag.String("admit", "none", "admission policy: none, reject-when-full or token-bucket:RATE[:BURST]")
+	deadline := flag.String("deadline", "", "per-job relative deadline: exp:MEAN, const:V or uni:LO:HI, optional :kill|:mark")
+	timeout := flag.Float64("timeout", 0, "dispatcher timeout in seconds before a job is pulled back and retried (0 disables)")
+	retry := flag.Int("retry", 0, "retry budget per job after timeouts and rejections")
+	backoff := flag.String("backoff", "", "retry backoff BASE:MAX[:JITTER] in seconds (default 1:60:0)")
+	breaker := flag.String("breaker", "", "per-computer circuit breaker CONSEC:COOLDOWN[:RATIO:WINDOW] (empty disables)")
 	flag.Parse()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
@@ -59,6 +73,13 @@ func main() {
 	}
 	faultCfg, mode, err := cli.FaultParams{
 		MTBF: *mtbf, MTTR: *mttr, Fate: *fate, Retries: *retries, Detect: *detect, Realloc: *realloc,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
+	ovCfg, err := cli.OverloadParams{
+		QCap: *qcap, Admit: *admit, Deadline: *deadline,
+		Timeout: *timeout, Retry: *retry, Backoff: *backoff, Breaker: *breaker,
 	}.Build()
 	if err != nil {
 		fatal(err)
@@ -79,6 +100,7 @@ func main() {
 		Seed:        *seed,
 		ArrivalCV:   *cv,
 		Faults:      faultCfg,
+		Overload:    ovCfg,
 	}
 	if *cv == 1 {
 		cfg.ExponentialArrivals = true
@@ -167,6 +189,29 @@ func main() {
 		ft.AddRow("degraded jobs", strconv.FormatInt(degJobs, 10))
 		ft.AddRow("mean resp time degraded (s)", report.MeanCI(res.MeanResponseTimeDegraded.Mean, res.MeanResponseTimeDegraded.CI95))
 		if _, err := ft.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if r0.Overload != nil {
+		fmt.Println()
+		var ov cluster.OverloadStats
+		for _, run := range res.Runs {
+			ov.AddCounters(run.Overload)
+		}
+		ot := report.NewTable("overload protection (sums across replications)", "metric", "value")
+		ot.AddRow("admitted / rejected (admission)", fmt.Sprintf("%d / %d", ov.Admitted, ov.RejectedAdmission))
+		ot.AddRow("rejected full / breaker", fmt.Sprintf("%d / %d", ov.RejectedFull, ov.RejectedBreaker))
+		ot.AddRow("throughput / goodput", fmt.Sprintf("%d / %d", ov.Throughput, ov.Goodput))
+		ot.AddRow("shed (queue overflow)", strconv.FormatInt(ov.ShedOverflow, 10))
+		ot.AddRow("timeouts / retries / dropped (budget)",
+			fmt.Sprintf("%d / %d / %d", ov.Timeouts, ov.Retries, ov.DroppedRetryBudget))
+		ot.AddRow("deadline misses (killed / late)",
+			fmt.Sprintf("%d (%d / %d)", ov.DeadlineMisses, ov.KilledByDeadline, ov.LateCompletions))
+		ot.AddRow("breaker trips / probes", fmt.Sprintf("%d / %d", ov.BreakerTrips, ov.BreakerProbes))
+		ot.AddRow("resp time p50/p95/p99 (s, rep 0)", fmt.Sprintf("%s / %s / %s",
+			report.F(r0.Overload.TimeP50), report.F(r0.Overload.TimeP95), report.F(r0.Overload.TimeP99)))
+		if _, err := ot.WriteTo(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

@@ -13,12 +13,18 @@
 //
 //	sweep -speeds 1,1,2,10 -policies ORR,ORRA -from 0.2 -to 0.6 -step 0.2 \
 //	      -mtbf 2e4 -mttr 2e3 -fate requeue -realloc resolve
+//
+// With any overload-protection flag set (-qcap, -admit, -deadline,
+// -timeout, -retry, -backoff, -breaker) the sweep may cross rho = 1 and
+// three extra tables report goodput, drops and deadline misses per
+// point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
@@ -43,6 +49,13 @@ func main() {
 	retries := flag.Int("retries", 3, "re-dispatch budget per job under -fate requeue")
 	detect := flag.Float64("detect", 0, "failure/repair detection lag in seconds")
 	realloc := flag.String("realloc", "stale", "static policies on failure: stale (keep fractions) or resolve (re-run allocator)")
+	qcap := flag.String("qcap", "", "per-computer queue bound: K or K:oldest|newest (0/empty disables)")
+	admit := flag.String("admit", "none", "admission policy: none, reject-when-full or token-bucket:RATE[:BURST]")
+	deadline := flag.String("deadline", "", "per-job relative deadline: exp:MEAN, const:V or uni:LO:HI, optional :kill|:mark")
+	timeout := flag.Float64("timeout", 0, "dispatcher timeout in seconds before a job is pulled back and retried (0 disables)")
+	retry := flag.Int("retry", 0, "retry budget per job after timeouts and rejections")
+	backoff := flag.String("backoff", "", "retry backoff BASE:MAX[:JITTER] in seconds (default 1:60:0)")
+	breaker := flag.String("breaker", "", "per-computer circuit breaker CONSEC:COOLDOWN[:RATIO:WINDOW] (empty disables)")
 	flag.Parse()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
@@ -62,6 +75,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ovCfg, err := cli.OverloadParams{
+		QCap: *qcap, Admit: *admit, Deadline: *deadline,
+		Timeout: *timeout, Retry: *retry, Backoff: *backoff, Breaker: *breaker,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
 	names, factories, err := cli.ParsePolicies(*policiesFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -76,7 +96,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg)
+	tables, csvTable, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -113,9 +133,11 @@ func sweepValues(from, to, step float64) []float64 {
 // runSweep executes the sweep and renders the metric tables; the second
 // return is the response-ratio table (for CSV output). With a fault
 // config, two extra tables report jobs lost and the degraded-window mean
-// response time per point.
+// response time per point; with an overload config, three more report
+// goodput, drops and deadline misses.
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
+	ovCfg *cluster.OverloadConfig,
 ) ([]*report.Table, *report.Table, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
@@ -127,12 +149,22 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		lostT = report.NewTable("jobs lost (mean per replication)", headers...)
 		degT = report.NewTable("mean response time in degraded windows (s)", headers...)
 	}
+	withOverload := ovCfg.Enabled()
+	var goodT, dropT, missT *report.Table
+	if withOverload {
+		goodT = report.NewTable("goodput (jobs completed in time, sum across replications)", headers...)
+		dropT = report.NewTable("jobs dropped (shed + retry budget + deadline kills)", headers...)
+		missT = report.NewTable("deadline misses (killed + late)", headers...)
+	}
 	for _, rho := range rhos {
 		rowR := []string{report.F(rho)}
 		rowT := []string{report.F(rho)}
 		rowF := []string{report.F(rho)}
 		rowL := []string{report.F(rho)}
 		rowD := []string{report.F(rho)}
+		rowG := []string{report.F(rho)}
+		rowX := []string{report.F(rho)}
+		rowM := []string{report.F(rho)}
 		for _, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
@@ -141,6 +173,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				Seed:        seed,
 				ArrivalCV:   cv,
 				Faults:      faultCfg,
+				Overload:    ovCfg,
 			}
 			if cv == 1 {
 				cfg.ExponentialArrivals = true
@@ -156,6 +189,15 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowL = append(rowL, report.F(res.JobsLost.Mean))
 				rowD = append(rowD, report.F(res.MeanResponseTimeDegraded.Mean))
 			}
+			if withOverload {
+				var ov cluster.OverloadStats
+				for _, run := range res.Runs {
+					ov.AddCounters(run.Overload)
+				}
+				rowG = append(rowG, strconv.FormatInt(ov.Goodput, 10))
+				rowX = append(rowX, strconv.FormatInt(ov.Dropped(), 10))
+				rowM = append(rowM, strconv.FormatInt(ov.DeadlineMisses, 10))
+			}
 		}
 		ratio.AddRow(rowR...)
 		timeT.AddRow(rowT...)
@@ -164,16 +206,27 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			lostT.AddRow(rowL...)
 			degT.AddRow(rowD...)
 		}
+		if withOverload {
+			goodT.AddRow(rowG...)
+			dropT.AddRow(rowX...)
+			missT.AddRow(rowM...)
+		}
 	}
 	note := fmt.Sprintf("%d replications × %.3g s per point, arrival CV %.3g", reps, duration, cv)
 	if withFaults {
 		note += fmt.Sprintf("; failures MTBF %s, MTTR %s, fate %s",
 			faultCfg.Uptime, faultCfg.Downtime, faultCfg.Fate)
 	}
+	if withOverload {
+		note += fmt.Sprintf("; overload protection: admission %s, queue cap %d", ovCfg.Admission, ovCfg.QueueCap)
+	}
 	ratio.AddNote("%s", note)
 	tables := []*report.Table{timeT, ratio, fair}
 	if withFaults {
 		tables = append(tables, lostT, degT)
+	}
+	if withOverload {
+		tables = append(tables, goodT, dropT, missT)
 	}
 	return tables, ratio, nil
 }

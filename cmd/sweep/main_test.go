@@ -62,7 +62,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, csvT, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil)
+		5000, 2, 1, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestRunSweepWithFaults(t *testing.T) {
 	}
 	factories = append(factories, f)
 	tables, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
-		1e4, 2, 1, 1, fc)
+		1e4, 2, 1, 1, fc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,5 +100,35 @@ func TestRunSweepWithFaults(t *testing.T) {
 	}
 	if s := tables[3].String(); !strings.Contains(s, "jobs lost") {
 		t.Errorf("missing lost table:\n%s", s)
+	}
+}
+
+// TestRunSweepWithOverload: an overload-enabled sweep may cross rho = 1
+// and grows the goodput, drops and deadline-miss tables.
+func TestRunSweepWithOverload(t *testing.T) {
+	ovCfg, err := cli.OverloadParams{
+		QCap: "30", Admit: "reject-when-full", Deadline: "exp:800", Retry: 1,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, factories, err := cli.ParsePolicies("ORR", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
+		1e4, 2, 1, 1, nil, ovCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("got %d tables, want 6 (3 metrics + goodput + drops + misses)", len(tables))
+	}
+	good := tables[3].String()
+	if !strings.Contains(good, "goodput") {
+		t.Errorf("missing goodput table:\n%s", good)
+	}
+	if drops := tables[4].String(); !strings.Contains(drops, "dropped") {
+		t.Errorf("missing drops table:\n%s", drops)
 	}
 }

@@ -42,9 +42,15 @@ func ParseSpeeds(s string) ([]float64, error) {
 	return speeds, nil
 }
 
+// MaxRho bounds the utilization the front ends accept. Overload studies
+// need ρ ≥ 1; the cap only rejects typos (an offered load of 10× the
+// system capacity is already far beyond anything the overload mechanisms
+// are designed to illuminate).
+const MaxRho = 10
+
 // RunParams are the common run parameters every front end validates.
 type RunParams struct {
-	Rho      float64 // utilization, in [0, 1)
+	Rho      float64 // utilization, in [0, MaxRho]; >= 1 is overload
 	Duration float64 // simulated seconds, > 0
 	Reps     int     // replications, >= 1
 	CV       float64 // arrival CV, >= 1
@@ -55,8 +61,8 @@ type RunParams struct {
 // Validate checks every parameter and returns the first problem with a
 // message naming the flag.
 func (p RunParams) Validate() error {
-	if math.IsNaN(p.Rho) || p.Rho < 0 || p.Rho >= 1 {
-		return fmt.Errorf("-rho %v: utilization must be in [0, 1)", p.Rho)
+	if math.IsNaN(p.Rho) || p.Rho < 0 || p.Rho > MaxRho {
+		return fmt.Errorf("-rho %v: utilization must be in [0, %v] (values >= 1 simulate overload)", p.Rho, float64(MaxRho))
 	}
 	if !(p.Duration > 0) || math.IsInf(p.Duration, 0) {
 		return fmt.Errorf("-duration %v: must be positive and finite", p.Duration)
@@ -78,11 +84,11 @@ func (p RunParams) Validate() error {
 
 // ValidateSweepRange checks a -from/-to/-step utilization sweep.
 func ValidateSweepRange(from, to, step float64) error {
-	if math.IsNaN(from) || from < 0 || from >= 1 {
-		return fmt.Errorf("-from %v: utilization must be in [0, 1)", from)
+	if math.IsNaN(from) || from < 0 || from > MaxRho {
+		return fmt.Errorf("-from %v: utilization must be in [0, %v]", from, float64(MaxRho))
 	}
-	if math.IsNaN(to) || to < 0 || to >= 1 {
-		return fmt.Errorf("-to %v: utilization must be in [0, 1)", to)
+	if math.IsNaN(to) || to < 0 || to > MaxRho {
+		return fmt.Errorf("-to %v: utilization must be in [0, %v]", to, float64(MaxRho))
 	}
 	if to < from {
 		return fmt.Errorf("-to %v below -from %v", to, from)

@@ -32,7 +32,7 @@ func TestRunParamsValidate(t *testing.T) {
 		flag string
 	}{
 		{"rho negative", func(p *RunParams) { p.Rho = -0.1 }, "-rho"},
-		{"rho saturated", func(p *RunParams) { p.Rho = 1 }, "-rho"},
+		{"rho beyond cap", func(p *RunParams) { p.Rho = MaxRho + 1 }, "-rho"},
 		{"duration zero", func(p *RunParams) { p.Duration = 0 }, "-duration"},
 		{"reps zero", func(p *RunParams) { p.Reps = 0 }, "-reps"},
 		{"cv below one", func(p *RunParams) { p.CV = 0.5 }, "-cv"},
@@ -57,7 +57,7 @@ func TestValidateSweepRange(t *testing.T) {
 	if err := ValidateSweepRange(0.3, 0.9, 0.1); err != nil {
 		t.Fatalf("valid range rejected: %v", err)
 	}
-	for _, tc := range [][3]float64{{0.9, 0.3, 0.1}, {0.3, 0.9, 0}, {-0.1, 0.9, 0.1}, {0.3, 1, 0.1}} {
+	for _, tc := range [][3]float64{{0.9, 0.3, 0.1}, {0.3, 0.9, 0}, {-0.1, 0.9, 0.1}, {0.3, MaxRho + 1, 0.1}} {
 		if err := ValidateSweepRange(tc[0], tc[1], tc[2]); err == nil {
 			t.Errorf("range %v accepted", tc)
 		}

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"testing"
+
+	"heterosched/internal/sched"
+)
+
+// FuzzOverloadSpecs throws arbitrary strings at the overload flag
+// grammar. The contract under fuzzing: Build never panics, and whenever
+// it accepts the input, the resulting configuration passes the cluster
+// validator (the CLI layer must not launder invalid configs through).
+func FuzzOverloadSpecs(f *testing.F) {
+	f.Add("40:oldest", "reject-when-full", "exp:1200:mark", "1:60:0.5", "5:500:0.5:20", 300.0, 2)
+	f.Add("", "token-bucket:2.5:8", "const:30", "", "0:100:0.9:50", 0.0, 0)
+	f.Add("0", "none", "uni:100:200:kill", "2:2", "", 5.0, 1)
+	f.Add(":", "token-bucket:", "exp::", "::", ":::", -1.0, -1)
+	f.Add("9999999999999999999", "reject", "norm:5:1", "1:60:2", "3:10:0.5", 1e308, 1<<30)
+	f.Fuzz(func(t *testing.T, qcap, admit, deadline, backoff, breaker string, timeout float64, retry int) {
+		cfg, err := OverloadParams{
+			QCap:     qcap,
+			Admit:    admit,
+			Deadline: deadline,
+			Timeout:  timeout,
+			Retry:    retry,
+			Backoff:  backoff,
+			Breaker:  breaker,
+		}.Build()
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		if cfg == nil {
+			return // all knobs disabled
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("Build accepted %q %q %q %q %q %v %d but Validate rejects: %v",
+				qcap, admit, deadline, backoff, breaker, timeout, retry, verr)
+		}
+	})
+}
+
+// FuzzRunSpecs covers the rest of the flag surface: speed lists, the
+// failure-model flags and the policy mnemonics. Nothing may panic; every
+// rejection must carry a message.
+func FuzzRunSpecs(f *testing.F) {
+	f.Add("1,1,2,10", 20000.0, 2000.0, "requeue", "resolve", 3, 10.0, "ORR")
+	f.Add("", -1.0, 0.0, "vanish", "stale", -1, -5.0, "ORR-150")
+	f.Add("0,inf,nan", 1e308, 1e-300, "lost", "", 0, 0.0, "ORRCAP0")
+	f.Add("2.5", 100.0, 10.0, "restart", "resolve", 1, 0.5, "ORRA")
+	f.Add(",,,", 0.0, -0.0, "", "renormalize", 1<<40, 1.0, "wran,orr,LL*,jsq2")
+	f.Fuzz(func(t *testing.T, speeds string, mtbf, mttr float64, fate, realloc string, retries int, detect float64, policies string) {
+		if sp, err := ParseSpeeds(speeds); err == nil {
+			for _, v := range sp {
+				if !(v > 0) {
+					t.Fatalf("ParseSpeeds(%q) let through non-positive speed %v", speeds, v)
+				}
+			}
+		} else if err.Error() == "" {
+			t.Fatal("empty error message from ParseSpeeds")
+		}
+		fp := FaultParams{MTBF: mtbf, MTTR: mttr, Fate: fate, Retries: retries, Detect: detect, Realloc: realloc}
+		faultCfg, mode, err := fp.Build()
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from FaultParams.Build")
+			}
+			faultCfg, mode = nil, sched.ReallocStale
+		} else if faultCfg != nil {
+			if verr := faultCfg.Validate(3); verr != nil {
+				t.Fatalf("FaultParams %+v accepted but faults.Validate rejects: %v", fp, verr)
+			}
+		}
+		opts := PolicyOptions{Realloc: mode, Faults: faultCfg, Computers: 3}
+		if _, _, err := ParsePolicies(policies, opts); err != nil && err.Error() == "" {
+			t.Fatal("empty error message from ParsePolicies")
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/sim"
+)
+
+// TestOverloadParamsBuild covers the spec grammar end to end: defaults
+// collapse to a nil config, each mechanism round-trips, and malformed
+// specs fail with the flag name in the message.
+func TestOverloadParamsBuild(t *testing.T) {
+	if cfg, err := (OverloadParams{}).Build(); err != nil || cfg != nil {
+		t.Fatalf("default params: cfg=%+v err=%v, want nil, nil", cfg, err)
+	}
+
+	cfg, err := OverloadParams{
+		QCap:     "40:oldest",
+		Admit:    "reject-when-full",
+		Deadline: "exp:1200:mark",
+		Timeout:  300,
+		Retry:    2,
+		Backoff:  "1:60:0.5",
+		Breaker:  "5:500:0.5:20",
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.QueueCap != 40 || cfg.Drop != sim.DropOldest ||
+		cfg.Admission != cluster.RejectWhenFull ||
+		cfg.Deadline == nil || cfg.DeadlineAction != cluster.DeadlineMark ||
+		cfg.Timeout != 300 || cfg.RetryBudget != 2 ||
+		cfg.BackoffBase != 1 || cfg.BackoffMax != 60 || cfg.BackoffJitter != 0.5 ||
+		cfg.Breaker == nil || cfg.Breaker.Consecutive != 5 || cfg.Breaker.Window != 20 {
+		t.Errorf("full spec mis-parsed: %+v (breaker %+v)", cfg, cfg.Breaker)
+	}
+
+	if cfg, err := (OverloadParams{Admit: "token-bucket:2.5"}).Build(); err != nil ||
+		cfg.Admission != cluster.TokenBucketAdmission || cfg.TokenRate != 2.5 || cfg.TokenBurst != 1 {
+		t.Errorf("token-bucket default burst: cfg=%+v err=%v", cfg, err)
+	}
+	if d, action, err := ParseDeadlineSpec("uni:100:200"); err != nil ||
+		action != cluster.DeadlineKill || d.Mean() != 150 {
+		t.Errorf("uni deadline: d=%v action=%v err=%v", d, action, err)
+	}
+
+	bad := []struct {
+		params OverloadParams
+		flag   string
+	}{
+		{OverloadParams{QCap: "-3"}, "-qcap"},
+		{OverloadParams{QCap: "4:latest"}, "-qcap"},
+		{OverloadParams{QCap: "many"}, "-qcap"},
+		{OverloadParams{Admit: "reject"}, "-admit"},
+		{OverloadParams{Admit: "token-bucket:0"}, "-admit"},
+		{OverloadParams{Admit: "token-bucket:1:0.2"}, "-admit"},
+		{OverloadParams{Deadline: "exp"}, "-deadline"},
+		{OverloadParams{Deadline: "exp:-5"}, "-deadline"},
+		{OverloadParams{Deadline: "uni:200:100"}, "-deadline"},
+		{OverloadParams{Deadline: "norm:5:1"}, "-deadline"},
+		{OverloadParams{Deadline: "exp:10:maybe"}, "-deadline"},
+		{OverloadParams{Timeout: -1}, "-timeout"},
+		{OverloadParams{Retry: -1}, "-retry"},
+		{OverloadParams{Backoff: "5"}, "-backoff"},
+		{OverloadParams{Backoff: "5:2"}, "-backoff"},
+		{OverloadParams{Backoff: "1:60:2"}, "-backoff"},
+		{OverloadParams{Breaker: "3"}, "-breaker"},
+		{OverloadParams{Breaker: "3:0"}, "-breaker"},
+		{OverloadParams{Breaker: "0:10"}, "breaker"},
+		{OverloadParams{Breaker: "3:10:0.5"}, "-breaker"},
+		{OverloadParams{Admit: "reject-when-full"}, "queue cap"},
+	}
+	for _, tc := range bad {
+		cfg, err := tc.params.Build()
+		if err == nil {
+			t.Errorf("params %+v accepted: %+v", tc.params, cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("params %+v: error %q does not name %q", tc.params, err, tc.flag)
+		}
+	}
+}

@@ -58,7 +58,10 @@ func (d Discipline) String() string {
 type Config struct {
 	// Speeds are the computers' relative speeds (all > 0).
 	Speeds []float64
-	// Utilization is the offered load ρ = λ/(μ Σ s_i), in [0, 1).
+	// Utilization is the offered load ρ = λ/(μ Σ s_i). The paper's model
+	// assumes ρ < 1; values ≥ 1 (overload) are permitted so the
+	// protection mechanisms in Overload can be studied, but without them
+	// queues grow without bound.
 	Utilization float64
 	// JobSize is the service-demand distribution; nil means the paper
 	// default Bounded Pareto B(10, 21600, 1.0), mean 76.8 s.
@@ -118,6 +121,19 @@ type Config struct {
 	// subsystem: no extra random stream is derived and no extra events
 	// are scheduled.
 	Faults *faults.Config
+	// Overload, when non-nil and enabled, activates the overload-
+	// protection layer: admission control, bounded per-computer queues,
+	// job deadlines, dispatcher timeout/retry with backoff, and
+	// per-computer circuit breakers (see OverloadConfig). With Overload
+	// nil or all-defaults the run is bit-identical to a build without the
+	// overload subsystem.
+	Overload *OverloadConfig
+	// SampleInterval, when positive, records the number of jobs in the
+	// system (admitted minus completed or dropped) every SampleInterval
+	// seconds into Result.InSystemSeries — the direct way to watch queues
+	// grow without bound at ρ ≥ 1. Zero disables sampling and schedules
+	// no extra events.
+	SampleInterval float64
 }
 
 // ReplayJob is one recorded arrival for trace-driven simulation.
@@ -166,8 +182,8 @@ func (c Config) validate() error {
 			return fmt.Errorf("cluster: speed[%d] = %v invalid", i, s)
 		}
 	}
-	if c.Utilization < 0 || c.Utilization >= 1 || math.IsNaN(c.Utilization) {
-		return fmt.Errorf("cluster: utilization %v outside [0,1)", c.Utilization)
+	if c.Utilization < 0 || math.IsNaN(c.Utilization) || math.IsInf(c.Utilization, 0) {
+		return fmt.Errorf("cluster: utilization %v invalid (must be finite and non-negative)", c.Utilization)
 	}
 	if c.ArrivalCV < 1 {
 		return fmt.Errorf("cluster: arrival CV %v < 1 not representable by H2", c.ArrivalCV)
@@ -191,6 +207,12 @@ func (c Config) validate() error {
 	}
 	if err := c.Faults.Validate(len(c.Speeds)); err != nil {
 		return err
+	}
+	if err := c.Overload.Validate(); err != nil {
+		return err
+	}
+	if c.SampleInterval < 0 || math.IsNaN(c.SampleInterval) || math.IsInf(c.SampleInterval, 0) {
+		return fmt.Errorf("cluster: sample interval %v invalid", c.SampleInterval)
 	}
 	return nil
 }
@@ -282,6 +304,12 @@ type Result struct {
 	GeneratedJobs int64
 	// SimulatedTime is the time at which statistics collection ended.
 	SimulatedTime float64
+	// Overload holds the overload-protection counters and the admitted-job
+	// response-time percentiles; nil unless Config.Overload was enabled.
+	Overload *OverloadStats
+	// InSystemSeries[k] is the number of jobs in the system at time
+	// (k+1)·SampleInterval; nil unless Config.SampleInterval was set.
+	InSystemSeries []int64
 
 	// The remaining fields are populated only when Config.Faults enabled
 	// failure injection (Availability is nil otherwise).
@@ -373,6 +401,21 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 
 	warmup := cfg.Duration * cfg.WarmupFraction
 
+	// Overload protection. Like faults, everything is gated on an enabled
+	// config so that unprotected runs stay bit-identical: no extra stream
+	// derivation, no extra events, no changed dispatch path.
+	var ov *overloadRun
+	if cfg.Overload.Enabled() {
+		var err error
+		ov, err = newOverloadRun(en, cfg.Overload, n, policy, warmup)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Overload.Deadline != nil {
+			ov.deadlines = root.Derive("overload.deadline")
+		}
+	}
+
 	var respTime, respRatio stats.Accumulator
 	var respTimeDeg, respRatioDeg stats.Accumulator
 	// Response ratios range from 1/maxSpeed (an undisturbed job on the
@@ -381,9 +424,19 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	ratioHist := stats.NewLogHistogram(1e-3, 1e6, 360)
 	counts := make([]int64, n)
 	var observed int64
+	var generated, inSystem int64
 
 	onDepart := func(j *sim.Job) {
-		policy.Departed(j)
+		if ov != nil {
+			if !ov.preDepart(j) {
+				// A condemned job's completion: the deadline kill already
+				// counted it out of the system and the statistics.
+				return
+			}
+		} else {
+			policy.Departed(j)
+		}
+		inSystem--
 		if j.Arrival >= warmup {
 			respTime.Add(j.ResponseTime())
 			respRatio.Add(j.ResponseRatio())
@@ -398,17 +451,51 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// overloadServer is what the overload layer needs from a server:
+	// eviction (shared with the fault injector) and single-job removal.
+	type overloadServer interface {
+		sim.Preemptable
+		sim.Removable
+	}
 	servers := make([]sim.Server, n)
+	var removers []sim.Removable
+	if ov != nil {
+		removers = make([]sim.Removable, n)
+	}
 	for i, s := range cfg.Speeds {
+		dep := onDepart
+		var bptr *sim.Bounded
+		if ov != nil && cfg.Overload.QueueCap > 0 {
+			// The bounded wrapper must see the departure before the run
+			// statistics so its occupancy is current.
+			dep = func(j *sim.Job) {
+				bptr.NoteDeparture(j)
+				onDepart(j)
+			}
+		}
+		var base overloadServer
 		switch cfg.Discipline {
 		case PS:
-			servers[i] = sim.NewPSServer(en, s, onDepart)
+			base = sim.NewPSServer(en, s, dep)
 		case RR:
-			servers[i] = sim.NewRRServer(en, s, cfg.Quantum, onDepart)
+			base = sim.NewRRServer(en, s, cfg.Quantum, dep)
 		case FCFS:
-			servers[i] = sim.NewFCFSServer(en, s, onDepart)
+			base = sim.NewFCFSServer(en, s, dep)
 		default:
 			return nil, fmt.Errorf("cluster: unknown discipline %v", cfg.Discipline)
+		}
+		if ov != nil && cfg.Overload.QueueCap > 0 {
+			idx := i
+			b := sim.NewBounded(base, cfg.Overload.QueueCap, cfg.Overload.Drop,
+				func(j *sim.Job) { ov.shed(idx, j) })
+			bptr = b
+			servers[i] = b
+			removers[i] = b
+		} else {
+			servers[i] = base
+			if ov != nil {
+				removers[i] = base
+			}
 		}
 	}
 
@@ -436,8 +523,14 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 		// notify tells a fault-aware policy the up-set as of detection
 		// time; flaps shorter than the detection lag collapse into one
-		// observation of the final state.
+		// observation of the final state. With overload protection active
+		// the mask is combined with the breaker states.
 		notify := func() {
+			if ov != nil {
+				ov.faultsUp = inj.UpSet()
+				ov.notifyUpSet()
+				return
+			}
 			if fa, ok := policy.(FaultAware); ok {
 				fa.UpSetChanged(inj.UpSet())
 			}
@@ -456,6 +549,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		// re-enter the job-fraction, deviation, or arrival counts: those
 		// track the scheduler's first dispatch decision per job.
 		requeue := func(j *sim.Job) {
+			if ov != nil {
+				// Route through the overload dispatcher so requeued jobs
+				// respect breakers, rejection and timeouts too.
+				ov.dispatch(j, false)
+				return
+			}
 			target := policy.Select(j)
 			if target < 0 || target >= n {
 				panic(fmt.Sprintf("cluster: policy %s selected invalid computer %d", policy.Name(), target))
@@ -468,6 +567,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			OnFail:   onChange,
 			OnRepair: onChange,
 			Requeue:  requeue,
+			OnLost: func(j *sim.Job) {
+				inSystem--
+				if ov != nil {
+					ov.jobLost(j)
+				}
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -475,7 +580,31 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		inj.Start()
 	}
 
-	var generated int64
+	if ov != nil {
+		ov.servers = servers
+		ov.removers = removers
+		ov.onDrop = func(*sim.Job) { inSystem-- }
+		ov.onFirstDispatch = func(j *sim.Job, target int) {
+			if j.Arrival >= warmup {
+				counts[target]++
+				observed++
+			}
+			if devTracker != nil {
+				devTracker.observe(j.Arrival, target)
+			}
+			if inj != nil && inj.AnyDown() {
+				j.Degraded = true
+			}
+		}
+		ov.arrive = func(target int, j *sim.Job) {
+			if inj != nil {
+				inj.Arrive(target, j)
+			} else {
+				servers[target].Arrive(j)
+			}
+		}
+	}
+
 	// admit dispatches one job of the given size at the current time.
 	admit := func(size float64) {
 		now := en.Now()
@@ -484,6 +613,14 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			ID:      generated,
 			Size:    size,
 			Arrival: now,
+		}
+		if ov != nil {
+			if !ov.admitJob(j) {
+				return
+			}
+			inSystem++
+			ov.dispatch(j, true)
+			return
 		}
 		target := policy.Select(j)
 		if target < 0 || target >= n {
@@ -497,6 +634,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		if devTracker != nil {
 			devTracker.observe(now, target)
 		}
+		inSystem++
 		if inj != nil {
 			if inj.AnyDown() {
 				j.Degraded = true
@@ -540,6 +678,22 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		nextArrival()
 	}
 
+	var samples []int64
+	if cfg.SampleInterval > 0 {
+		var sample func(k int)
+		sample = func(k int) {
+			t := float64(k) * cfg.SampleInterval
+			if t > cfg.Duration {
+				return
+			}
+			en.Schedule(t, func() {
+				samples = append(samples, inSystem)
+				sample(k + 1)
+			})
+		}
+		sample(1)
+	}
+
 	if *cfg.Drain {
 		// Run to the horizon, then let in-flight jobs finish. The pending
 		// arrival event beyond the horizon self-cancels via the time
@@ -573,6 +727,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	}
 	if devTracker != nil {
 		res.Deviations = devTracker.deviations(cfg.Duration)
+	}
+	if ov != nil {
+		res.Overload = ov.finish()
+	}
+	if cfg.SampleInterval > 0 {
+		res.InSystemSeries = samples
 	}
 	if inj != nil {
 		inj.Finish(endTime)

@@ -36,8 +36,15 @@ func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{Speeds: nil, Utilization: 0.5},
 		{Speeds: []float64{0}, Utilization: 0.5},
-		{Speeds: []float64{1}, Utilization: 1.0},
+		{Speeds: []float64{1}, Utilization: math.Inf(1)},
 		{Speeds: []float64{1}, Utilization: -0.1},
+		{Speeds: []float64{1}, Utilization: 0.5, SampleInterval: -1},
+		{Speeds: []float64{1}, Utilization: 0.5,
+			Overload: &OverloadConfig{QueueCap: -1}},
+		{Speeds: []float64{1}, Utilization: 0.5,
+			Overload: &OverloadConfig{Admission: RejectWhenFull}},
+		{Speeds: []float64{1}, Utilization: 0.5,
+			Overload: &OverloadConfig{Admission: TokenBucketAdmission}},
 		{Speeds: []float64{1}, Utilization: 0.5, ArrivalCV: 0.5},
 		{Speeds: []float64{1}, Utilization: 0.5, Duration: -1},
 		{Speeds: []float64{1}, Utilization: 0.5, WarmupFraction: 1.5},

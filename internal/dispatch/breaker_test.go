@@ -1,0 +1,164 @@
+package dispatch
+
+import "testing"
+
+// TestBreakerTripHalfOpenClose walks the full recovery path required by
+// the overload design: consecutive failures trip the breaker, the
+// cooldown moves it to half-open, a single probe succeeds and the
+// breaker closes with its history reset.
+func TestBreakerTripHalfOpenClose(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Consecutive: 3, Cooldown: 100})
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must start closed and allowing")
+	}
+	if b.RecordFailure(1) || b.RecordFailure(2) {
+		t.Fatal("breaker tripped before reaching the consecutive threshold")
+	}
+	b.RecordSuccess() // success resets the consecutive run
+	if b.RecordFailure(3) || b.RecordFailure(4) {
+		t.Fatal("breaker ignored the success reset")
+	}
+	if !b.RecordFailure(5) {
+		t.Fatal("third consecutive failure did not trip the breaker")
+	}
+	if b.State() != BreakerOpen || b.Allow() || b.Trips() != 1 || b.OpenedAt() != 5 {
+		t.Fatalf("after trip: state=%v allow=%v trips=%d openedAt=%v",
+			b.State(), b.Allow(), b.Trips(), b.OpenedAt())
+	}
+	// Failures while open are ignored (the computer is already masked).
+	if b.RecordFailure(6) {
+		t.Fatal("open breaker recorded a trip")
+	}
+
+	b.ToHalfOpen()
+	if b.State() != BreakerHalfOpen || !b.NeedsProbe() || b.Allow() {
+		t.Fatalf("after cooldown: state=%v needsProbe=%v allow=%v",
+			b.State(), b.NeedsProbe(), b.Allow())
+	}
+	b.BeginProbe()
+	if b.NeedsProbe() {
+		t.Fatal("breaker wants a second probe while one is in flight")
+	}
+	b.ProbeSucceeded()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("after probe success: state=%v", b.State())
+	}
+	// History was reset: two failures must not trip again.
+	if b.RecordFailure(10) || b.RecordFailure(11) {
+		t.Fatal("stale failure history survived the close")
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the breaker and
+// a later probe can still close it.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Consecutive: 1, Cooldown: 50})
+	if !b.RecordFailure(1) {
+		t.Fatal("single-failure breaker did not trip")
+	}
+	b.ToHalfOpen()
+	b.BeginProbe()
+	b.ProbeFailed(60)
+	if b.State() != BreakerOpen || b.OpenedAt() != 60 {
+		t.Fatalf("after probe failure: state=%v openedAt=%v", b.State(), b.OpenedAt())
+	}
+	if b.Trips() != 1 {
+		t.Errorf("probe failure must not count as a new trip, got %d", b.Trips())
+	}
+	b.ToHalfOpen()
+	b.BeginProbe()
+	b.ProbeSucceeded()
+	if b.State() != BreakerClosed {
+		t.Fatalf("second probe did not close the breaker: %v", b.State())
+	}
+}
+
+// TestBreakerRatioWindow trips on a sliding-window failure ratio only
+// after a full window of outcomes.
+func TestBreakerRatioWindow(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Ratio: 0.5, Window: 4, Cooldown: 10})
+	// 3 failures in under a full window: no trip yet.
+	if b.RecordFailure(1) || b.RecordFailure(2) || b.RecordFailure(3) {
+		t.Fatal("breaker tripped before a full window of outcomes")
+	}
+	b.RecordSuccess() // window now F F F S: ratio 0.75 ≥ 0.5
+	if !b.RecordFailure(5) {
+		t.Fatal("full window at ratio 0.8 did not trip")
+	}
+
+	// A mostly-successful stream must never trip.
+	b2 := NewBreaker(BreakerConfig{Ratio: 0.5, Window: 4, Cooldown: 10})
+	for i := 0; i < 20; i++ {
+		b2.RecordSuccess()
+		b2.RecordSuccess()
+		b2.RecordSuccess()
+		if b2.RecordFailure(float64(i)) {
+			t.Fatalf("ratio 0.25 stream tripped at i=%d", i)
+		}
+	}
+}
+
+// TestBreakerConfigValidate rejects nonsense configurations.
+func TestBreakerConfigValidate(t *testing.T) {
+	bad := []BreakerConfig{
+		{},                                    // no criterion
+		{Consecutive: -1, Cooldown: 1},        // negative threshold
+		{Consecutive: 3, Cooldown: 0},         // no cooldown
+		{Ratio: 0.5, Cooldown: 1},             // ratio without window
+		{Ratio: 1.5, Window: 4, Cooldown: 1},  // ratio > 1
+		{Window: 4, Cooldown: 1},              // window without ratio
+		{Consecutive: 3, Cooldown: -2},        // negative cooldown
+		{Ratio: -0.1, Window: 4, Cooldown: 1}, // negative ratio
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v) validated", i, cfg)
+		}
+	}
+	good := BreakerConfig{Consecutive: 5, Ratio: 0.5, Window: 20, Cooldown: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	var nilCfg *BreakerConfig
+	if err := nilCfg.Validate(); err != nil {
+		t.Errorf("nil config rejected: %v", err)
+	}
+}
+
+// TestTokenBucket checks refill arithmetic and burst clamping.
+func TestTokenBucket(t *testing.T) {
+	tb, err := NewTokenBucket(2, 3) // 2 tokens/s, burst 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts full: 3 admissions, then empty.
+	for i := 0; i < 3; i++ {
+		if !tb.Allow(0) {
+			t.Fatalf("admission %d refused from a full bucket", i)
+		}
+	}
+	if tb.Allow(0) {
+		t.Fatal("empty bucket admitted")
+	}
+	// 0.25 s refills half a token: still refused.
+	if tb.Allow(0.25) {
+		t.Fatal("half a token admitted a job")
+	}
+	// By 0.5 s the bucket holds 1 token (0.5 from the failed attempt at
+	// 0.25 plus 0.5 more): one admission, then refused again.
+	if !tb.Allow(0.5) || tb.Allow(0.5) {
+		t.Fatal("refill arithmetic wrong at t=0.5")
+	}
+	// A long idle period clamps at the burst.
+	if got := tb.Tokens(1e6); got != 3 {
+		t.Fatalf("Tokens after idle = %v, want burst 3", got)
+	}
+
+	for _, bad := range [][2]float64{{0, 3}, {-1, 3}, {2, 0.5}, {2, 0}} {
+		if _, err := NewTokenBucket(bad[0], bad[1]); err == nil {
+			t.Errorf("NewTokenBucket(%v, %v) accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+
+	"heterosched/internal/rng"
+)
+
+// TestEmptyUpSetKeepsPreviousMask is the total-outage edge case required
+// by the overload design: SetUp with an all-false mask must fail with
+// ErrNoComputerUp and leave the previous mask in place, so the
+// dispatcher keeps producing a deterministic selection sequence (jobs
+// then queue at — or are rejected by — the computers the stale mask
+// names, rather than the dispatcher crashing or going undefined).
+func TestEmptyUpSetKeepsPreviousMask(t *testing.T) {
+	fr := []float64{0.2, 0.3, 0.5}
+	build := func(name string, seed string) Masked {
+		t.Helper()
+		switch name {
+		case "Random":
+			d, err := NewRandom(fr, rng.New(99).Derive(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		case "RoundRobin":
+			d, err := NewRoundRobin(fr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		case "CyclicWRR":
+			d, err := NewCyclicWRR(fr, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+		t.Fatalf("unknown dispatcher %s", name)
+		return nil
+	}
+
+	for _, name := range []string{"Random", "RoundRobin", "CyclicWRR"} {
+		// ref never sees the failed SetUp; got does. Their sequences must
+		// be identical before and after the rejected call.
+		ref := build(name, "s")
+		got := build(name, "s")
+		partial := []bool{true, false, true}
+		if err := ref.SetUp(partial); err != nil {
+			t.Fatalf("%s: SetUp(partial) = %v", name, err)
+		}
+		if err := got.SetUp(partial); err != nil {
+			t.Fatalf("%s: SetUp(partial) = %v", name, err)
+		}
+		for i := 0; i < 50; i++ {
+			if r, g := ref.Next(), got.Next(); r != g {
+				t.Fatalf("%s: sequences diverged before the empty mask (draw %d: %d vs %d)", name, i, r, g)
+			}
+		}
+
+		if err := got.SetUp([]bool{false, false, false}); !errors.Is(err, ErrNoComputerUp) {
+			t.Errorf("%s: SetUp(all-down) = %v, want ErrNoComputerUp", name, err)
+		}
+		for i := 0; i < 200; i++ {
+			r, g := ref.Next(), got.Next()
+			if r != g {
+				t.Fatalf("%s: rejected SetUp perturbed the sequence (draw %d: %d vs %d)", name, i, r, g)
+			}
+			if g == 1 {
+				t.Fatalf("%s: selected computer 1, which the kept mask excludes", name)
+			}
+		}
+
+		// A wrong-length mask is a distinct error and also keeps the mask.
+		if err := got.SetUp([]bool{true}); err == nil || errors.Is(err, ErrNoComputerUp) {
+			t.Errorf("%s: SetUp(short mask) = %v, want a length-mismatch error", name, err)
+		}
+		for i := 0; i < 50; i++ {
+			if r, g := ref.Next(), got.Next(); r != g {
+				t.Fatalf("%s: rejected short mask perturbed the sequence (draw %d)", name, i)
+			}
+		}
+	}
+}

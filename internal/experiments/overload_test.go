@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestExtOverloadShape runs the overload study at a small scale and
+// checks the properties the study exists to demonstrate: the
+// unprotected in-system count diverges past saturation, the protected
+// runs keep goodput bounded with explicit drops, and the optimized
+// allocation is no worse than the proportional one once the system is
+// overloaded.
+func TestExtOverloadShape(t *testing.T) {
+	opts := Options{Scale: 0.004, Reps: 2, Seed: 9}
+	res, err := ExtOverload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(OverloadRhos) || len(res.Goodput) != len(OverloadRhos) {
+		t.Fatalf("series/goodput rows = %d/%d, want %d", len(res.Series), len(res.Goodput), len(OverloadRhos))
+	}
+
+	// Unprotected at rho = 1.5 (the last row): the backlog builds
+	// throughout the run. Allow sampling noise but require clear growth
+	// and no collapse back toward empty.
+	last := res.Series[len(res.Series)-1]
+	if len(last) != 8 {
+		t.Fatalf("in-system series has %d samples, want 8: %v", len(last), last)
+	}
+	if last[7] < last[0]+30 {
+		t.Errorf("unprotected rho=1.5 in-system did not grow: %v", last)
+	}
+	peak := int64(0)
+	for _, v := range last {
+		if v > peak {
+			peak = v
+		}
+	}
+	if last[7] < peak/2 {
+		t.Errorf("unprotected rho=1.5 backlog collapsed: %v", last)
+	}
+	// The subcritical run stays small by comparison.
+	sub := res.Series[0]
+	if sub[7] > last[7]/2 {
+		t.Errorf("rho=0.8 backlog %d not clearly below rho=1.5 backlog %d", sub[7], last[7])
+	}
+
+	for i, rho := range res.Rhos {
+		for pi := range res.Policies {
+			if res.Goodput[i][pi] <= 0 {
+				t.Errorf("goodput[%g][%s] = %d", rho, res.Policies[pi], res.Goodput[i][pi])
+			}
+			if res.Goodput[i][pi] > res.Admitted[i][pi] {
+				t.Errorf("goodput %d exceeds admitted %d at rho=%g %s",
+					res.Goodput[i][pi], res.Admitted[i][pi], rho, res.Policies[pi])
+			}
+			if res.P99[i][pi] <= 0 {
+				t.Errorf("p99[%g][%s] = %v", rho, res.Policies[pi], res.P99[i][pi])
+			}
+		}
+		// Overloaded points must shed work: drops are the release valve.
+		if rho > 1 && res.Dropped[i][3] == 0 {
+			t.Errorf("no drops at rho=%g despite overload", rho)
+		}
+		// ORR (index 3) at least matches WRAN (index 0) once overloaded.
+		if rho >= 1.2 && res.Goodput[i][3] < res.Goodput[i][0] {
+			t.Errorf("rho=%g: ORR goodput %d below WRAN %d", rho, res.Goodput[i][3], res.Goodput[i][0])
+		}
+	}
+
+	tables := res.Render()
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5", len(tables))
+	}
+	if s := tables[0].String(); !strings.Contains(s, "unprotected") {
+		t.Errorf("first table not the unprotected series:\n%s", s)
+	}
+
+	// The whole study is deterministic in its options.
+	res2, err := ExtOverload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Error("ext-overload is not deterministic across identical runs")
+	}
+}

@@ -101,6 +101,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: []*report.Table{r.Render()}}, nil
 	},
+	"ext-overload": func(o Options) (*Output, error) {
+		r, err := ExtOverload(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

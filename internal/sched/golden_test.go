@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/dist"
+	"heterosched/internal/faults"
+)
+
+// TestGoldenDefaults locks the simulator's output bit-for-bit for runs
+// with every optional subsystem (faults, overload protection, sampling)
+// at its defaults. The overload layer is required to be inert when
+// disabled — no extra random streams, no extra events — so these exact
+// values must survive any refactor that keeps that promise. If a change
+// legitimately alters the core simulation, recapture the constants and
+// say why in the commit.
+func TestGoldenDefaults(t *testing.T) {
+	base := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    5e4,
+		Seed:        7,
+	}
+	cases := []struct {
+		label               string
+		policy              cluster.Policy
+		time, ratio, fair   float64
+		jobs, generatedJobs int64
+	}{
+		{"ORR", ORR(), 80.32010488757426, 0.85354843255027757, 0.76359187852407262, 3741, 5160},
+		{"WRAN", WRAN(), 90.335689256411428, 1.009917972863575, 1.0072099109339594, 3741, 5160},
+		{"LL", NewLeastLoad(), 66.696128653667557, 0.63576168097964592, 0.46118949545857496, 3741, 5160},
+	}
+	for _, c := range cases {
+		res, err := cluster.Run(base, c.policy)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if res.MeanResponseTime != c.time || res.MeanResponseRatio != c.ratio ||
+			res.Fairness != c.fair || res.Jobs != c.jobs || res.GeneratedJobs != c.generatedJobs {
+			t.Errorf("%s drifted from golden values:\n got  time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d\n want time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d",
+				c.label, res.MeanResponseTime, res.MeanResponseRatio, res.Fairness, res.Jobs, res.GeneratedJobs,
+				c.time, c.ratio, c.fair, c.jobs, c.generatedJobs)
+		}
+		if res.Overload != nil || res.InSystemSeries != nil {
+			t.Errorf("%s: overload fields populated on a default run", c.label)
+		}
+	}
+}
+
+// TestGoldenFaultResolve locks a fault-injected ReallocResolve run.
+// These values were recaptured when resolveFractions switched its
+// saturated-degraded-system fallback from an optimized allocation at
+// ρ = 1−1e−9 to renormalized stale fractions (the documented
+// StaleFallbacks behavior); they must be stable from then on.
+func TestGoldenFaultResolve(t *testing.T) {
+	cfg := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    5e4,
+		Seed:        7,
+		Faults: &faults.Config{
+			Uptime:       dist.NewExponential(2e4),
+			Downtime:     dist.NewExponential(2e3),
+			Fate:         faults.RequeueToDispatcher,
+			DetectionLag: 10,
+		},
+	}
+	p := ORR()
+	p.Realloc = ReallocResolve
+	res, err := cluster.Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantTime  = 109.29479844721433
+		wantRatio = 1.4331510949263637
+		wantFair  = 2.4534217611974678
+	)
+	if res.MeanResponseTime != wantTime || res.MeanResponseRatio != wantRatio ||
+		res.Fairness != wantFair || res.Jobs != 3738 || res.GeneratedJobs != 5160 {
+		t.Errorf("fault-resolve run drifted from golden values:\n got  time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d\n want time=%.17g ratio=%.17g fair=%.17g jobs=3738 gen=5160",
+			res.MeanResponseTime, res.MeanResponseRatio, res.Fairness, res.Jobs, res.GeneratedJobs,
+			wantTime, wantRatio, wantFair)
+	}
+	// The {1,1,2,10} system at ρ=0.6 saturates whenever the speed-10
+	// computer is down (effective ρ = 2.1), so resolve mode must have
+	// fallen back to renormalized stale fractions at least once.
+	if p.StaleFallbacks() == 0 {
+		t.Error("StaleFallbacks = 0, want > 0 (speed-10 outages saturate the survivors)")
+	}
+}

@@ -89,6 +89,14 @@ func ParseReallocMode(s string) (ReallocMode, error) {
 	return 0, fmt.Errorf("sched: unknown realloc mode %q (want stale or resolve)", s)
 }
 
+// MaxPlanRho is the utilization static allocators plan against when the
+// true offered load reaches or exceeds 1: the allocation formulas require
+// ρ < 1, and as ρ → 1 the optimized allocation converges to the simple
+// weighted one, so planning at just under saturation is the natural
+// continuation for overload studies (the same adjustment the paper makes
+// for near-100% utilization).
+const MaxPlanRho = 1 - 1e-6
+
 // Static is a static scheduling policy: allocation fractions are computed
 // once at initialization from average system behavior (speeds and
 // utilization) and jobs are dispatched online by a stateless-per-job rule.
@@ -105,6 +113,11 @@ type Static struct {
 	dispatchRNG *rng.Stream
 	fractions   []float64
 	dispatcher  dispatch.Dispatcher
+	// staleFallbacks counts up-set changes where the allocator could not
+	// produce a fresh split (degraded system saturated: ErrInfeasible, or
+	// any other allocator failure) and the policy fell back to the stale
+	// fractions renormalized over the survivors.
+	staleFallbacks int64
 }
 
 var _ cluster.Policy = (*Static)(nil)
@@ -121,14 +134,20 @@ func (s *Static) Name() string {
 }
 
 // Init computes the allocation for the run's speeds and utilization and
-// builds the dispatcher.
+// builds the dispatcher. An offered load at or beyond saturation is
+// planned at MaxPlanRho so static policies remain runnable in overload
+// studies instead of failing with alloc.ErrInfeasible.
 func (s *Static) Init(ctx *cluster.Context) error {
 	s.ctx = ctx
 	// Derived once and reused across dispatcher rebuilds (UpSetChanged),
 	// so the random-dispatch sequence continues instead of restarting.
 	// Derivation does not consume parent stream state.
 	s.dispatchRNG = ctx.RNG.Derive("dispatch")
-	fr, err := s.Allocator.Allocate(ctx.Speeds, ctx.Utilization)
+	planRho := ctx.Utilization
+	if planRho >= MaxPlanRho {
+		planRho = MaxPlanRho
+	}
+	fr, err := s.Allocator.Allocate(ctx.Speeds, planRho)
 	if err != nil {
 		return fmt.Errorf("sched: %s allocation: %w", s.Name(), err)
 	}
@@ -197,9 +216,12 @@ func (s *Static) UpSetChanged(up []bool) {
 // resolveFractions re-runs the allocator over the surviving computers at
 // the utilization the offered load implies for the reduced capacity,
 // returning full-length fractions with zeros at down computers. If the
-// degraded system is saturated (or the allocator fails), it falls back to
-// a speed-proportional split over the survivors — degraded but stable
-// routing beats refusing to adapt.
+// degraded system is saturated (the allocator reports
+// alloc.ErrInfeasible) or the allocator fails for any other reason, it
+// falls back to the stale fractions renormalized over the survivors —
+// the same split ReallocStale would route — and records the event in
+// StaleFallbacks: degraded but predictable routing beats refusing to
+// adapt, and the counter makes the degradation observable.
 func (s *Static) resolveFractions(up []bool) []float64 {
 	speeds := s.ctx.Speeds
 	upSpeeds := make([]float64, 0, len(speeds))
@@ -214,17 +236,10 @@ func (s *Static) resolveFractions(up []bool) []float64 {
 		}
 	}
 	rhoEff := s.ctx.Utilization * sumAll / sumUp
-	if rhoEff >= 1 {
-		rhoEff = 1 - 1e-9
-	}
 	fr, err := s.Allocator.Allocate(upSpeeds, rhoEff)
 	if err != nil {
-		fr, err = alloc.Proportional{}.Allocate(upSpeeds, rhoEff)
-		if err != nil {
-			// Unreachable for positive speeds and rho < 1; keep the
-			// current fractions rather than corrupt them.
-			return s.fractions
-		}
+		s.staleFallbacks++
+		return s.staleRenormalized(up)
 	}
 	full := make([]float64, len(speeds))
 	for k, i := range idx {
@@ -232,6 +247,41 @@ func (s *Static) resolveFractions(up []bool) []float64 {
 	}
 	return full
 }
+
+// staleRenormalized returns the current fractions with down computers
+// zeroed and the remaining mass rescaled to 1. When the surviving
+// computers carried no mass in the stale split (all their fractions were
+// zero), it splits equally among them.
+func (s *Static) staleRenormalized(up []bool) []float64 {
+	full := make([]float64, len(s.fractions))
+	sum := 0.0
+	nUp := 0
+	for i, f := range s.fractions {
+		if up[i] {
+			full[i] = f
+			sum += f
+			nUp++
+		}
+	}
+	if sum > 0 {
+		for i := range full {
+			full[i] /= sum
+		}
+		return full
+	}
+	for i := range full {
+		full[i] = 0
+		if up[i] {
+			full[i] = 1 / float64(nUp)
+		}
+	}
+	return full
+}
+
+// StaleFallbacks returns how many up-set changes fell back to
+// renormalized stale fractions because the allocator could not produce a
+// fresh split for the degraded system.
+func (s *Static) StaleFallbacks() int64 { return s.staleFallbacks }
 
 // Fractions returns the computed allocation (valid after Init).
 func (s *Static) Fractions() []float64 {

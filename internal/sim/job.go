@@ -28,6 +28,23 @@ type Job struct {
 	// Degraded records that the job arrived while at least one computer
 	// was down, for response-time conditioning on degraded windows.
 	Degraded bool
+	// Deadline is the absolute time by which the job must complete to
+	// count toward goodput; zero means no deadline. Set by the overload
+	// layer (internal/cluster) when a deadline distribution is configured.
+	Deadline float64
+	// Attempts counts dispatcher-level re-dispatches after timeouts or
+	// admission rejections (overload retry/backoff). It is distinct from
+	// Retries, which counts failure-driven requeues.
+	Attempts int
+	// Killed marks a job condemned by deadline expiry. A killed job that
+	// nevertheless completes (it was unreachable at expiry, e.g. held at a
+	// failed computer) is excluded from statistics.
+	Killed bool
+	// Probe marks a circuit-breaker half-open probe dispatch.
+	Probe bool
+	// TimeoutEvent and DeadlineEvent are the overload layer's pending
+	// timers for this job, cancelled when the job leaves the system.
+	TimeoutEvent, DeadlineEvent *Event
 
 	// attained is the virtual-time target used internally by PS servers,
 	// or the remaining work for quantum/FCFS servers.
@@ -69,4 +86,17 @@ type Preemptable interface {
 	// Resume re-admits an evicted job with service demand Remaining
 	// (rather than Size). A job with zero Remaining departs immediately.
 	Resume(j *Job)
+}
+
+// Removable is a Server that can surgically extract a single job — the
+// primitive behind queue reneging (deadline expiry) and dispatcher
+// timeouts in the overload-protection layer. All three server
+// disciplines implement it.
+type Removable interface {
+	Server
+	// Remove extracts j if it is currently at this server, setting its
+	// Remaining field to its unserved demand at speed 1 (like Evict, for
+	// one job), and reports whether j was present. The server's departure
+	// callback is not invoked for removed jobs.
+	Remove(j *Job) bool
 }

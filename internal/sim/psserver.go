@@ -124,8 +124,24 @@ func (s *PSServer) depart() {
 // push/pop maintain the min-heap on attained.
 func (s *PSServer) push(j *Job) {
 	s.jobs = append(s.jobs, j)
-	i := len(s.jobs) - 1
-	j.heapIdx = i
+	j.heapIdx = len(s.jobs) - 1
+	s.siftUp(j.heapIdx)
+}
+
+func (s *PSServer) pop() *Job {
+	top := s.jobs[0]
+	last := len(s.jobs) - 1
+	s.jobs[0] = s.jobs[last]
+	s.jobs[0].heapIdx = 0
+	s.jobs = s.jobs[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+func (s *PSServer) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if s.jobs[i].attained >= s.jobs[parent].attained {
@@ -136,32 +152,23 @@ func (s *PSServer) push(j *Job) {
 	}
 }
 
-func (s *PSServer) pop() *Job {
-	top := s.jobs[0]
-	last := len(s.jobs) - 1
-	s.jobs[0] = s.jobs[last]
-	s.jobs[0].heapIdx = 0
-	s.jobs = s.jobs[:last]
-	if last > 0 {
-		i := 0
-		for {
-			left := 2*i + 1
-			if left >= last {
-				break
-			}
-			small := left
-			if r := left + 1; r < last && s.jobs[r].attained < s.jobs[left].attained {
-				small = r
-			}
-			if s.jobs[small].attained >= s.jobs[i].attained {
-				break
-			}
-			s.swap(i, small)
-			i = small
+func (s *PSServer) siftDown(i int) {
+	n := len(s.jobs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
 		}
+		small := left
+		if r := left + 1; r < n && s.jobs[r].attained < s.jobs[left].attained {
+			small = r
+		}
+		if s.jobs[small].attained >= s.jobs[i].attained {
+			break
+		}
+		s.swap(i, small)
+		i = small
 	}
-	top.heapIdx = -1
-	return top
 }
 
 func (s *PSServer) swap(i, k int) {

@@ -119,6 +119,44 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// Quantiles estimates several quantiles in one pass over the bins. The
+// qs must be sorted ascending; the result has one entry per q. It is the
+// batched form of Quantile for tail reporting (e.g. p50/p95/p99 of
+// response times in overload runs).
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h.n == 0 {
+		return out
+	}
+	k := 0
+	cum := float64(h.under)
+	for k < len(qs) && qs[k]*float64(h.n) <= cum {
+		out[k] = h.lo
+		k++
+	}
+	for i, c := range h.bins {
+		if k >= len(qs) {
+			break
+		}
+		next := cum + float64(c)
+		for k < len(qs) {
+			target := qs[k] * float64(h.n)
+			if !(target <= next && c > 0) {
+				break
+			}
+			lo, hi := h.BinBounds(i)
+			frac := (target - cum) / float64(c)
+			out[k] = lo + frac*(hi-lo)
+			k++
+		}
+		cum = next
+	}
+	for ; k < len(qs); k++ {
+		out[k] = h.hi
+	}
+	return out
+}
+
 // String renders a compact ASCII sketch of the histogram.
 func (h *Histogram) String() string {
 	var b strings.Builder
