@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check stress vet fmt clean
+.PHONY: all build test check stress vet fmt clean probe-smoke
 
 all: build
 
@@ -24,6 +24,18 @@ check: vet build
 # the race detector.
 stress:
 	$(GO) test -race -run 'Stress|Conservation|Randomized|Cancellations|Monotone|Quick' ./internal/sim/
+
+# probe-smoke runs a short fully instrumented simulation (metrics,
+# cadence samples, lifecycle events, trace, manifest) and validates the
+# artifacts with probecheck. CI runs this and uploads probe-out/.
+probe-smoke:
+	mkdir -p probe-out
+	$(GO) run ./cmd/heterosim -speeds 1,1,2,10 -rho 0.7 -policy ORR \
+		-duration 2e4 -reps 1 -probe -sample-dt 500 \
+		-events probe-out/events.jsonl -manifest probe-out/manifest.json \
+		-trace probe-out/trace.csv > probe-out/report.txt
+	$(GO) run ./cmd/probecheck -manifest probe-out/manifest.json \
+		-events probe-out/events.jsonl -require-terminal
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -20,6 +20,16 @@
 // exponential backoff and per-computer circuit breakers. With any of
 // these set, the run reports goodput vs. throughput and the drop
 // breakdown; rho may exceed 1 to study saturation.
+//
+// Observability: -probe turns on the metrics registry (per-computer
+// queue length, utilization, up/down, breaker state, in-system count,
+// interarrival statistics), -sample-dt adds fixed-cadence samples,
+// -events streams per-job lifecycle events to a file (JSONL, or CSV
+// with a .csv suffix), -manifest writes a per-run provenance record,
+// and -debug-addr serves expvar and pprof over HTTP. Instrumentation
+// runs in a dedicated replication-0 pass (shared with -trace); the
+// replicated runs stay probe-free, so the reported metrics are
+// bit-identical with and without these flags.
 package main
 
 import (
@@ -27,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
 	"heterosched/internal/dist"
+	"heterosched/internal/probe"
 	"heterosched/internal/report"
 	"heterosched/internal/sim"
 	"heterosched/internal/trace"
@@ -61,7 +73,13 @@ func main() {
 	retry := flag.Int("retry", 0, "retry budget per job after timeouts and rejections")
 	backoff := flag.String("backoff", "", "retry backoff BASE:MAX[:JITTER] in seconds (default 1:60:0)")
 	breaker := flag.String("breaker", "", "per-computer circuit breaker CONSEC:COOLDOWN[:RATIO:WINDOW] (empty disables)")
+	probeFlag := flag.Bool("probe", false, "instrument replication 0 with the metrics registry and report probe tables")
+	events := flag.String("events", "", "write the rep-0 lifecycle event stream to this file (JSONL; .csv selects CSV)")
+	manifestPath := flag.String("manifest", "", "write a run manifest (config, seed, git, wall/sim time, final metrics) to this JSON file")
+	sampleDT := flag.Float64("sample-dt", 0, "also sample probe series every this many simulated seconds (0 = event boundaries only; implies -probe)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	start := time.Now()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
 	if err != nil {
@@ -70,6 +88,20 @@ func main() {
 	params := cli.RunParams{Rho: *rho, Duration: *duration, Reps: *reps, CV: *cv, Quantum: *quantum, MeanSize: *meanSize}
 	if err := params.Validate(); err != nil {
 		fatal(err)
+	}
+	pp := cli.ProbeParams{
+		Probe: *probeFlag, Events: *events, Manifest: *manifestPath,
+		SampleDT: *sampleDT, DebugAddr: *debugAddr,
+	}
+	if err := pp.Validate(); err != nil {
+		fatal(err)
+	}
+	if pp.DebugAddr != "" {
+		addr, _, err := probe.ServeDebug(pp.DebugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", addr)
 	}
 	faultCfg, mode, err := cli.FaultParams{
 		MTBF: *mtbf, MTTR: *mttr, Fate: *fate, Retries: *retries, Detect: *detect, Realloc: *realloc,
@@ -113,26 +145,48 @@ func main() {
 		cfg.Quantum = *quantum
 	}
 
-	if *traceFile != "" {
-		// Trace replication 0 in a dedicated pass so the replicated runs
-		// below stay parallel and trace-free.
-		f, err := os.Create(*traceFile)
+	// Trace and probe replication 0 in a dedicated pass so the replicated
+	// runs below stay parallel and instrumentation-free.
+	instrumented := pp.Active() || *traceFile != ""
+	var pb *probe.Probe
+	if instrumented {
+		var cleanup func() error
+		pb, cleanup, err = pp.Build()
 		if err != nil {
 			fatal(err)
 		}
-		w := trace.NewWriter(f)
 		tcfg := cfg
-		tcfg.OnDeparture = func(j *sim.Job) { _ = w.Record(j) }
+		tcfg.Probe = pb
+		var tw *trace.Writer
+		var tf *os.File
+		if *traceFile != "" {
+			if tf, err = os.Create(*traceFile); err != nil {
+				fatal(err)
+			}
+			tw = trace.NewWriter(tf)
+			tcfg.OnFinal = func(j *sim.Job, o cluster.Outcome) { _ = tw.RecordFinal(j, o) }
+		}
+		if pb != nil {
+			probe.PublishLive(pb)
+		}
 		if _, err := cluster.Run(tcfg, factory()); err != nil {
 			fatal(err)
 		}
-		if err := w.Flush(); err != nil {
+		if err := cleanup(); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if tw != nil {
+			if err := tw.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
+		if pp.Events != "" {
+			fmt.Fprintf(os.Stderr, "events written to %s\n", pp.Events)
+		}
 	}
 
 	res, err := cluster.RunReplications(cfg, factory, *reps)
@@ -214,6 +268,77 @@ func main() {
 		if _, err := ot.WriteTo(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+
+	if pb != nil {
+		fmt.Println()
+		et := report.NewTable("lifecycle events (instrumented rep-0 pass)", "event", "count")
+		for _, kc := range pb.EventCounts() {
+			et.AddRow(kc.Kind.String(), strconv.FormatInt(kc.Count, 10))
+		}
+		if _, err := et.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if pp.Probe || pp.SampleDT > 0 {
+			fmt.Println()
+			st := report.NewTable("arrival substreams (instrumented rep-0 pass)",
+				"computer", "interarrival CV", "gaps", "mean queue len")
+			reg := pb.Registry()
+			for i := range speeds {
+				icv, gaps := pb.InterarrivalCV(i)
+				st.AddRow(strconv.Itoa(i+1), report.F(icv), strconv.FormatInt(gaps, 10),
+					report.F(reg.Series("queue_len."+strconv.Itoa(i)).Mean()))
+			}
+			st.AddNote("round-robin splitting smooths each substream (CV below the arrival CV %.3g); probabilistic splitting preserves it", *cv)
+			if _, err := st.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if pp.Manifest != "" {
+		m := probe.NewManifest("heterosim", os.Args[1:], start)
+		m.Seed = *seed
+		m.Config["speeds"] = speeds
+		m.Config["rho"] = *rho
+		m.Config["policy"] = *policyFlag
+		m.Config["duration"] = *duration
+		m.Config["reps"] = *reps
+		m.Config["cv"] = *cv
+		if faultCfg != nil {
+			m.Config["mtbf"] = *mtbf
+			m.Config["mttr"] = *mttr
+			m.Config["fate"] = *fate
+		}
+		if ovCfg != nil {
+			m.Config["qcap"] = *qcap
+			m.Config["admit"] = *admit
+			m.Config["deadline"] = *deadline
+			m.Config["timeout"] = *timeout
+			m.Config["retry"] = *retry
+		}
+		if pp.SampleDT > 0 {
+			m.Config["sample_dt"] = pp.SampleDT
+		}
+		m.WallSeconds = time.Since(start).Seconds()
+		runs := float64(*reps)
+		if instrumented {
+			runs++
+		}
+		m.SimTime = *duration * runs
+		m.Metrics["mean_response_time"] = res.MeanResponseTime.Mean
+		m.Metrics["mean_response_ratio"] = res.MeanResponseRatio.Mean
+		m.Metrics["fairness"] = res.Fairness.Mean
+		if pb != nil {
+			for k, v := range pb.Registry().FinalSnapshot() {
+				m.Metrics[k] = v
+			}
+			m.Events = pb.EventCountMap()
+		}
+		if err := m.WriteFile(pp.Manifest); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", pp.Manifest)
 	}
 }
 

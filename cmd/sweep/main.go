@@ -18,17 +18,29 @@
 // -timeout, -retry, -backoff, -breaker) the sweep may cross rho = 1 and
 // three extra tables report goodput, drops and deadline misses per
 // point.
+//
+// Observability: -probe adds an instrumented pass per sweep cell and a
+// table of per-computer interarrival CVs (mean across computers) — the
+// paper's §3 burstiness measurement, showing round-robin splitting
+// (ORR) produces smoother substreams than probabilistic splitting
+// (ORAN). -events names a directory receiving one JSONL lifecycle
+// stream per cell, -sample-dt adds cadence samples, -manifest writes a
+// sweep-level provenance record, and -debug-addr serves expvar/pprof
+// with the live metrics of the cell currently running.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"time"
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
 	"heterosched/internal/faults"
+	"heterosched/internal/probe"
 	"heterosched/internal/report"
 )
 
@@ -56,7 +68,13 @@ func main() {
 	retry := flag.Int("retry", 0, "retry budget per job after timeouts and rejections")
 	backoff := flag.String("backoff", "", "retry backoff BASE:MAX[:JITTER] in seconds (default 1:60:0)")
 	breaker := flag.String("breaker", "", "per-computer circuit breaker CONSEC:COOLDOWN[:RATIO:WINDOW] (empty disables)")
+	probeFlag := flag.Bool("probe", false, "instrument one extra pass per cell and report interarrival CVs")
+	events := flag.String("events", "", "directory receiving one JSONL lifecycle event stream per sweep cell")
+	manifestPath := flag.String("manifest", "", "write a sweep manifest (config, seed, git, wall/sim time, metrics) to this JSON file")
+	sampleDT := flag.Float64("sample-dt", 0, "also sample probe series every this many simulated seconds (implies -probe)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	start := time.Now()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
 	if err != nil {
@@ -68,6 +86,25 @@ func main() {
 	params := cli.RunParams{Rho: *from, Duration: *duration, Reps: *reps, CV: *cv, MeanSize: 76.8}
 	if err := params.Validate(); err != nil {
 		fatal(err)
+	}
+	pp := cli.ProbeParams{
+		Probe: *probeFlag, Events: *events, Manifest: *manifestPath,
+		SampleDT: *sampleDT, DebugAddr: *debugAddr,
+	}
+	if err := pp.Validate(); err != nil {
+		fatal(err)
+	}
+	if pp.Events != "" {
+		if err := os.MkdirAll(pp.Events, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if pp.DebugAddr != "" {
+		addr, _, err := probe.ServeDebug(pp.DebugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", addr)
 	}
 	faultCfg, mode, err := cli.FaultParams{
 		MTBF: *mtbf, MTTR: *mttr, Fate: *fate, Retries: *retries, Detect: *detect, Realloc: *realloc,
@@ -96,7 +133,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg)
+	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, pp)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +153,37 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if pp.Manifest != "" {
+		m := probe.NewManifest("sweep", os.Args[1:], start)
+		m.Seed = *seed
+		m.Config["speeds"] = speeds
+		m.Config["policies"] = *policiesFlag
+		m.Config["from"] = *from
+		m.Config["to"] = *to
+		m.Config["step"] = *step
+		m.Config["duration"] = *duration
+		m.Config["reps"] = *reps
+		m.Config["cv"] = *cv
+		if pp.SampleDT > 0 {
+			m.Config["sample_dt"] = pp.SampleDT
+		}
+		m.WallSeconds = time.Since(start).Seconds()
+		cells := float64(len(rhos) * len(names))
+		runsPerCell := float64(*reps)
+		if pp.Active() {
+			runsPerCell++
+		}
+		m.SimTime = *duration * cells * runsPerCell
+		m.Metrics["cells"] = cells
+		for k, v := range probeMetrics {
+			m.Metrics[k] = v
+		}
+		if err := m.WriteFile(pp.Manifest); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "manifest written to %s\n", pp.Manifest)
+	}
 }
 
 // sweepValues enumerates from..to by step (inclusive, with rounding slop).
@@ -134,11 +202,13 @@ func sweepValues(from, to, step float64) []float64 {
 // return is the response-ratio table (for CSV output). With a fault
 // config, two extra tables report jobs lost and the degraded-window mean
 // response time per point; with an overload config, three more report
-// goodput, drops and deadline misses.
+// goodput, drops and deadline misses. With probe instrumentation active,
+// one extra uninstrumented-identical pass runs per cell and the third
+// return carries per-cell probe metrics for the manifest.
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
-	ovCfg *cluster.OverloadConfig,
-) ([]*report.Table, *report.Table, error) {
+	ovCfg *cluster.OverloadConfig, pp cli.ProbeParams,
+) ([]*report.Table, *report.Table, map[string]float64, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
 	timeT := report.NewTable("mean response time (s)", headers...)
@@ -156,6 +226,13 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		dropT = report.NewTable("jobs dropped (shed + retry budget + deadline kills)", headers...)
 		missT = report.NewTable("deadline misses (killed + late)", headers...)
 	}
+	withProbe := pp.Active()
+	probeMetrics := map[string]float64{}
+	var cvT *report.Table
+	if pp.Probe || pp.SampleDT > 0 {
+		cvT = report.NewTable("interarrival CV (mean across computers, instrumented pass)", headers...)
+		cvT.AddNote("the paper's §3 burstiness measurement: round-robin splitting smooths each computer's arrival substream, probabilistic splitting does not")
+	}
 	for _, rho := range rhos {
 		rowR := []string{report.F(rho)}
 		rowT := []string{report.F(rho)}
@@ -165,7 +242,8 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		rowG := []string{report.F(rho)}
 		rowX := []string{report.F(rho)}
 		rowM := []string{report.F(rho)}
-		for _, f := range factories {
+		rowC := []string{report.F(rho)}
+		for k, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
 				Utilization: rho,
@@ -180,7 +258,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			}
 			res, err := cluster.RunReplications(cfg, f, reps)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			rowR = append(rowR, report.F(res.MeanResponseRatio.Mean))
 			rowT = append(rowT, report.F(res.MeanResponseTime.Mean))
@@ -198,6 +276,16 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowX = append(rowX, strconv.FormatInt(ov.Dropped(), 10))
 				rowM = append(rowM, strconv.FormatInt(ov.DeadlineMisses, 10))
 			}
+			if withProbe {
+				meanCV, err := probeCell(cfg, f, names[k], rho, pp)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				if cvT != nil {
+					rowC = append(rowC, report.F(meanCV))
+					probeMetrics[fmt.Sprintf("interarrival_cv.%s.rho%s", names[k], report.F(rho))] = meanCV
+				}
+			}
 		}
 		ratio.AddRow(rowR...)
 		timeT.AddRow(rowT...)
@@ -210,6 +298,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			goodT.AddRow(rowG...)
 			dropT.AddRow(rowX...)
 			missT.AddRow(rowM...)
+		}
+		if cvT != nil {
+			cvT.AddRow(rowC...)
 		}
 	}
 	note := fmt.Sprintf("%d replications × %.3g s per point, arrival CV %.3g", reps, duration, cv)
@@ -228,7 +319,56 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	if withOverload {
 		tables = append(tables, goodT, dropT, missT)
 	}
-	return tables, ratio, nil
+	if cvT != nil {
+		tables = append(tables, cvT)
+	}
+	return tables, ratio, probeMetrics, nil
+}
+
+// probeCell runs one instrumented pass for a sweep cell (policy × rho)
+// and returns the gap-weighted mean interarrival CV across computers.
+// With an events directory configured it writes the cell's lifecycle
+// stream to "<dir>/<policy>-rho<rho>.jsonl".
+func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho float64, pp cli.ProbeParams) (float64, error) {
+	var w probe.EventWriter
+	var ef *os.File
+	if pp.Events != "" {
+		var err error
+		ef, err = os.Create(filepath.Join(pp.Events, fmt.Sprintf("%s-rho%s.jsonl", name, report.F(rho))))
+		if err != nil {
+			return 0, err
+		}
+		w = probe.NewJSONLWriter(ef)
+	}
+	pb, err := probe.New(probe.Options{Metrics: pp.Probe || pp.SampleDT > 0, SampleDT: pp.SampleDT, Events: w})
+	if err != nil {
+		return 0, err
+	}
+	probe.PublishLive(pb)
+	cfg.Probe = pb
+	if _, err := cluster.Run(cfg, f()); err != nil {
+		return 0, err
+	}
+	if err := pb.Flush(); err != nil {
+		return 0, err
+	}
+	if ef != nil {
+		if err := ef.Close(); err != nil {
+			return 0, err
+		}
+	}
+	var sum, n float64
+	for i := range cfg.Speeds {
+		cv, gaps := pb.InterarrivalCV(i)
+		if gaps > 1 {
+			sum += cv * float64(gaps)
+			n += float64(gaps)
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / n, nil
 }
 
 func fatal(err error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -61,8 +63,8 @@ func TestRunSweepSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, csvT, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil)
+	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
+		5000, 2, 1, 1, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +92,8 @@ func TestRunSweepWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	factories = append(factories, f)
-	tables, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
-		1e4, 2, 1, 1, fc, nil)
+	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
+		1e4, 2, 1, 1, fc, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,8 +118,8 @@ func TestRunSweepWithOverload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
-		1e4, 2, 1, 1, nil, ovCfg)
+	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
+		1e4, 2, 1, 1, nil, ovCfg, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,5 +132,43 @@ func TestRunSweepWithOverload(t *testing.T) {
 	}
 	if drops := tables[4].String(); !strings.Contains(drops, "dropped") {
 		t.Errorf("missing drops table:\n%s", drops)
+	}
+}
+
+// TestRunSweepWithProbe: a probe-enabled sweep grows the interarrival-CV
+// table, writes one event stream per cell into the events directory, and
+// returns per-cell metrics for the manifest.
+func TestRunSweepWithProbe(t *testing.T) {
+	dir := t.TempDir()
+	names, factories, err := cli.ParsePolicies("ORR,ORAN", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := cli.ProbeParams{Probe: true, Events: dir}
+	tables, _, metrics, err := runSweep([]float64{1, 2}, []float64{0.5}, names, factories,
+		1e4, 1, 1, 1, nil, nil, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want 4 (3 metrics + interarrival CV)", len(tables))
+	}
+	if s := tables[3].String(); !strings.Contains(s, "interarrival CV") {
+		t.Errorf("missing CV table:\n%s", s)
+	}
+	for _, want := range []string{"interarrival_cv.ORR.rho0.5", "interarrival_cv.ORAN.rho0.5"} {
+		if _, ok := metrics[want]; !ok {
+			t.Errorf("manifest metrics missing %q (have %v)", want, metrics)
+		}
+	}
+	// The §3 ordering: ORR's substreams are smoother than ORAN's.
+	if !(metrics["interarrival_cv.ORR.rho0.5"] < metrics["interarrival_cv.ORAN.rho0.5"]) {
+		t.Errorf("interarrival CV: ORR %v not below ORAN %v",
+			metrics["interarrival_cv.ORR.rho0.5"], metrics["interarrival_cv.ORAN.rho0.5"])
+	}
+	for _, f := range []string{"ORR-rho0.5.jsonl", "ORAN-rho0.5.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing cell event stream: %v", err)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"heterosched/internal/probe"
+)
+
+// ProbeParams are the observability flags shared by the front ends
+// (-probe, -events, -manifest, -sample-dt, -debug-addr). All of them
+// default off; a run with none set attaches no probe and stays
+// bit-identical to an uninstrumented run.
+type ProbeParams struct {
+	// Probe activates the metrics registry (per-computer queue length,
+	// up/down, breaker state, utilization, in-system count, interarrival
+	// statistics) on an instrumented pass.
+	Probe bool
+	// Events is the lifecycle event stream path; a ".csv" suffix selects
+	// the CSV exporter, anything else JSONL. Empty disables the stream.
+	Events string
+	// Manifest is the run-manifest JSON path ("" disables).
+	Manifest string
+	// SampleDT, when positive, samples the metric series on a fixed
+	// cadence in addition to event boundaries. Implies Probe.
+	SampleDT float64
+	// DebugAddr, when non-empty, serves expvar and pprof on this address
+	// for the lifetime of the process (e.g. "localhost:6060").
+	DebugAddr string
+}
+
+// Validate checks the observability flags.
+func (p ProbeParams) Validate() error {
+	if p.SampleDT < 0 || math.IsNaN(p.SampleDT) || math.IsInf(p.SampleDT, 0) {
+		return fmt.Errorf("-sample-dt %v: must be >= 0 and finite (0 disables cadence sampling)", p.SampleDT)
+	}
+	return nil
+}
+
+// Active reports whether an instrumented simulation pass is needed —
+// any of the probe facilities beyond the manifest was requested. (A
+// manifest alone records configuration and the paper metrics without
+// instrumenting the run.)
+func (p ProbeParams) Active() bool {
+	return p.Probe || p.Events != "" || p.SampleDT > 0
+}
+
+// NewEventWriter picks the exporter for an event-stream path: CSV when
+// the path ends in ".csv", JSONL otherwise.
+func NewEventWriter(path string, f *os.File) probe.EventWriter {
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		return probe.NewCSVWriter(f)
+	}
+	return probe.NewJSONLWriter(f)
+}
+
+// Build opens the events file (when requested) and assembles the probe.
+// The returned cleanup flushes the probe's event stream and closes the
+// file; call it after the instrumented run. A nil probe (with a no-op
+// cleanup) means no instrumentation was requested.
+func (p ProbeParams) Build() (*probe.Probe, func() error, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !p.Active() {
+		return nil, func() error { return nil }, nil
+	}
+	var w probe.EventWriter
+	var f *os.File
+	if p.Events != "" {
+		var err error
+		f, err = os.Create(p.Events)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-events: %v", err)
+		}
+		w = NewEventWriter(p.Events, f)
+	}
+	pb, err := probe.New(probe.Options{Metrics: p.Probe, SampleDT: p.SampleDT, Events: w})
+	if err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, nil, err
+	}
+	cleanup := func() error {
+		err := pb.Flush()
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return pb, cleanup, nil
+}

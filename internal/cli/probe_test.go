@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProbeParamsValidateAndActive(t *testing.T) {
+	if err := (ProbeParams{}).Validate(); err != nil {
+		t.Errorf("zero params rejected: %v", err)
+	}
+	if (ProbeParams{}).Active() {
+		t.Error("zero params active")
+	}
+	if err := (ProbeParams{SampleDT: -1}).Validate(); err == nil {
+		t.Error("negative -sample-dt accepted")
+	}
+	for _, p := range []ProbeParams{
+		{Probe: true},
+		{Events: "x.jsonl"},
+		{SampleDT: 10},
+	} {
+		if !p.Active() {
+			t.Errorf("%+v should be active", p)
+		}
+	}
+	// A manifest alone needs no instrumented pass.
+	if (ProbeParams{Manifest: "m.json"}).Active() {
+		t.Error("manifest-only params active")
+	}
+}
+
+func TestProbeParamsBuild(t *testing.T) {
+	pb, cleanup, err := ProbeParams{}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb != nil {
+		t.Error("inactive params built a probe")
+	}
+	if err := cleanup(); err != nil {
+		t.Errorf("no-op cleanup: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	pb, cleanup, err = ProbeParams{Probe: true, Events: path, SampleDT: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Enabled() || !pb.EventsOn() || pb.SampleDT() != 5 {
+		t.Errorf("probe misconfigured: enabled=%v events=%v dt=%v", pb.Enabled(), pb.EventsOn(), pb.SampleDT())
+	}
+	if err := cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("events file not created: %v", err)
+	}
+}

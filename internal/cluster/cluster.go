@@ -22,6 +22,7 @@ import (
 
 	"heterosched/internal/dist"
 	"heterosched/internal/faults"
+	"heterosched/internal/probe"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
 	"heterosched/internal/stats"
@@ -99,8 +100,24 @@ type Config struct {
 	Drain *bool
 	// OnDeparture, when non-nil, is invoked for every post-warm-up job at
 	// its completion time (e.g. to write a job trace). The callback must
-	// not retain the job past the call.
+	// not retain the job past the call. It fires only for completed jobs;
+	// use OnFinal to observe every terminal outcome.
 	OnDeparture func(*sim.Job)
+	// OnFinal, when non-nil, is invoked exactly once for every
+	// post-warm-up job at its terminal event, whatever the outcome:
+	// completion (possibly late), deadline kill, queue shed, retry-budget
+	// drop, admission rejection, or loss to a failure. The callback must
+	// not retain the job past the call. With Drain false, jobs still in
+	// flight at the horizon never reach a terminal event and are not
+	// reported.
+	OnFinal func(*sim.Job, Outcome)
+	// Probe, when non-nil and enabled, attaches the observability layer
+	// (see internal/probe): lifecycle events, time-weighted metric series
+	// and cadence samples. A probe belongs to exactly one run — do not
+	// share one across replications. With Probe nil or disabled the run
+	// is bit-identical to a build without the probe subsystem: no extra
+	// random stream is derived and no extra events are scheduled.
+	Probe *probe.Probe
 	// Replay, when non-empty, drives arrivals from this trace (sorted by
 	// ascending Arrival) instead of the synthetic generators: JobSize,
 	// ArrivalCV and ExponentialArrivals are ignored, and Duration
@@ -416,6 +433,18 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// Observability. The probe is treated as nil unless it actually does
+	// something; every probe touch below is gated on pb != nil, so
+	// probe-less runs stay bit-identical: no extra random stream is
+	// derived and no extra events are scheduled.
+	pb := cfg.Probe
+	if !pb.Enabled() {
+		pb = nil
+	}
+	if pb != nil {
+		pb.Start(n, 0)
+	}
+
 	var respTime, respRatio stats.Accumulator
 	var respTimeDeg, respRatioDeg stats.Accumulator
 	// Response ratios range from 1/maxSpeed (an undisturbed job on the
@@ -426,7 +455,40 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	var observed int64
 	var generated, inSystem int64
 
+	servers := make([]sim.Server, n)
+
+	// trackSys mirrors the in-system count into the probe's series after
+	// every change.
+	trackSys := func() {
+		if pb != nil {
+			pb.SetInSystem(en.Now(), inSystem)
+		}
+	}
+
+	// finalize records a job's terminal outcome exactly once: the probe's
+	// terminal lifecycle event (every job) and cfg.OnFinal (post-warm-up
+	// jobs, consistent with OnDeparture). Overlapping subsystems may race
+	// to a job's end — a deadline kill followed by the held job's eventual
+	// completion, a shed of an already-condemned job — so the Finalized
+	// flag arbitrates.
+	finalize := func(j *sim.Job, o Outcome) {
+		if j.Finalized {
+			return
+		}
+		j.Finalized = true
+		if pb != nil {
+			kind, cause := o.probeEvent()
+			pb.Emit(probe.Event{T: en.Now(), Kind: kind, Job: j.ID, Target: j.Target, Cause: cause, Attempt: j.Attempts + j.Retries})
+		}
+		if cfg.OnFinal != nil && j.Arrival >= warmup {
+			cfg.OnFinal(j, o)
+		}
+	}
+
 	onDepart := func(j *sim.Job) {
+		if pb != nil && j.Target >= 0 {
+			pb.SetQueueLen(en.Now(), j.Target, servers[j.Target].InService())
+		}
 		if ov != nil {
 			if !ov.preDepart(j) {
 				// A condemned job's completion: the deadline kill already
@@ -437,6 +499,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			policy.Departed(j)
 		}
 		inSystem--
+		trackSys()
+		outcome := OutcomeCompleted
+		if j.Deadline > 0 && j.Completion > j.Deadline {
+			outcome = OutcomeLate
+		}
+		finalize(j, outcome)
 		if j.Arrival >= warmup {
 			respTime.Add(j.ResponseTime())
 			respRatio.Add(j.ResponseRatio())
@@ -457,7 +525,6 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		sim.Preemptable
 		sim.Removable
 	}
-	servers := make([]sim.Server, n)
 	var removers []sim.Removable
 	if ov != nil {
 		removers = make([]sim.Removable, n)
@@ -512,6 +579,10 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	// config so that fault-free runs stay bit-identical: no extra stream
 	// derivation, no extra events, no changed dispatch path.
 	var inj *faults.Injector
+	// maskFn renders the availability mask (fault up-state AND breaker
+	// closed) for dispatch events; bound after the injector exists, and
+	// only when events are on.
+	var maskFn func() string
 	if cfg.Faults.Enabled() {
 		preempt := make([]sim.Preemptable, n)
 		for i, s := range servers {
@@ -560,30 +631,96 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				panic(fmt.Sprintf("cluster: policy %s selected invalid computer %d", policy.Name(), target))
 			}
 			j.Target = target
+			if pb != nil && !j.Finalized {
+				var mask string
+				if maskFn != nil {
+					mask = maskFn()
+				}
+				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Attempt: j.Attempts + j.Retries, Mask: mask})
+			}
 			inj.Arrive(target, j)
+			if pb != nil {
+				pb.SetQueueLen(en.Now(), target, servers[target].InService())
+			}
 		}
-		var err error
-		inj, err = faults.NewInjector(en, cfg.Faults, preempt, root.Derive("faults"), cfg.Duration, faults.Hooks{
-			OnFail:   onChange,
-			OnRepair: onChange,
-			Requeue:  requeue,
+		hooks := faults.Hooks{
+			OnFail: func(i int) {
+				if pb != nil {
+					now := en.Now()
+					pb.SetUp(now, i, false)
+					pb.SetQueueLen(now, i, servers[i].InService())
+					pb.Emit(probe.Event{T: now, Kind: probe.EvFail, Target: i})
+				}
+				onChange(i)
+			},
+			OnRepair: func(i int) {
+				if pb != nil {
+					now := en.Now()
+					pb.SetUp(now, i, true)
+					pb.SetQueueLen(now, i, servers[i].InService())
+					pb.Emit(probe.Event{T: now, Kind: probe.EvRepair, Target: i})
+				}
+				onChange(i)
+			},
+			Requeue: requeue,
 			OnLost: func(j *sim.Job) {
 				inSystem--
+				trackSys()
 				if ov != nil {
 					ov.jobLost(j)
 				}
+				finalize(j, OutcomeLostFailure)
 			},
-		})
+		}
+		if pb != nil {
+			hooks.OnEnterService = func(i int, j *sim.Job) {
+				if !j.Finalized {
+					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: i})
+				}
+			}
+			hooks.OnEvict = func(i int, j *sim.Job) {
+				if !j.Finalized {
+					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvEvict, Job: j.ID, Target: i})
+				}
+			}
+			hooks.OnResume = func(i int, j *sim.Job) {
+				if !j.Finalized {
+					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvResume, Job: j.ID, Target: i})
+				}
+			}
+		}
+		var err error
+		inj, err = faults.NewInjector(en, cfg.Faults, preempt, root.Derive("faults"), cfg.Duration, hooks)
 		if err != nil {
 			return nil, err
 		}
 		inj.Start()
 	}
+	if pb != nil && pb.EventsOn() {
+		maskBuf := make([]byte, n)
+		maskFn = func() string {
+			for i := range maskBuf {
+				up := (inj == nil || inj.Up(i)) && ov.breakerClosed(i)
+				if up {
+					maskBuf[i] = '1'
+				} else {
+					maskBuf[i] = '0'
+				}
+			}
+			return string(maskBuf)
+		}
+	}
 
 	if ov != nil {
 		ov.servers = servers
 		ov.removers = removers
-		ov.onDrop = func(*sim.Job) { inSystem-- }
+		ov.pb = pb
+		ov.mask = maskFn
+		ov.final = finalize
+		ov.onDrop = func(*sim.Job) {
+			inSystem--
+			trackSys()
+		}
 		ov.onFirstDispatch = func(j *sim.Job, target int) {
 			if j.Arrival >= warmup {
 				counts[target]++
@@ -591,6 +728,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 			if devTracker != nil {
 				devTracker.observe(j.Arrival, target)
+			}
+			if pb != nil {
+				pb.NoteSubstream(target, j.Arrival)
 			}
 			if inj != nil && inj.AnyDown() {
 				j.Degraded = true
@@ -600,7 +740,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			if inj != nil {
 				inj.Arrive(target, j)
 			} else {
+				if pb != nil && !j.Finalized {
+					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: target})
+				}
 				servers[target].Arrive(j)
+			}
+			if pb != nil {
+				pb.SetQueueLen(en.Now(), target, servers[target].InService())
 			}
 		}
 	}
@@ -613,12 +759,18 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			ID:      generated,
 			Size:    size,
 			Arrival: now,
+			Target:  -1,
+		}
+		if pb != nil {
+			pb.Emit(probe.Event{T: now, Kind: probe.EvArrival, Job: j.ID, Target: -1})
 		}
 		if ov != nil {
 			if !ov.admitJob(j) {
+				finalize(j, OutcomeRejectedAdmission)
 				return
 			}
 			inSystem++
+			trackSys()
 			ov.dispatch(j, true)
 			return
 		}
@@ -634,14 +786,29 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		if devTracker != nil {
 			devTracker.observe(now, target)
 		}
+		if pb != nil {
+			var mask string
+			if maskFn != nil {
+				mask = maskFn()
+			}
+			pb.Emit(probe.Event{T: now, Kind: probe.EvDispatch, Job: j.ID, Target: target, Mask: mask})
+			pb.NoteSubstream(target, j.Arrival)
+		}
 		inSystem++
+		trackSys()
 		if inj != nil {
 			if inj.AnyDown() {
 				j.Degraded = true
 			}
 			inj.Arrive(target, j)
 		} else {
+			if pb != nil {
+				pb.Emit(probe.Event{T: now, Kind: probe.EvServiceStart, Job: j.ID, Target: target})
+			}
 			servers[target].Arrive(j)
+		}
+		if pb != nil {
+			pb.SetQueueLen(now, target, servers[target].InService())
 		}
 	}
 
@@ -678,6 +845,30 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		nextArrival()
 	}
 
+	// Cadence sampling: read queue lengths, utilization deltas and the
+	// in-system count every SampleDT. The chain self-terminates at the
+	// horizon so the drain completes.
+	if pb != nil && pb.SampleDT() > 0 {
+		qls := make([]int, n)
+		busy := make([]float64, n)
+		var psample func(k int)
+		psample = func(k int) {
+			t := float64(k) * pb.SampleDT()
+			if t > cfg.Duration {
+				return
+			}
+			en.Schedule(t, func() {
+				for i := range servers {
+					qls[i] = servers[i].InService()
+					busy[i] = servers[i].BusyTime()
+				}
+				pb.Sample(en.Now(), qls, busy, inSystem)
+				psample(k + 1)
+			})
+		}
+		psample(1)
+	}
+
 	var samples []int64
 	if cfg.SampleInterval > 0 {
 		var sample func(k int)
@@ -704,6 +895,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		en.RunUntil(cfg.Duration)
 	}
 	endTime := math.Max(en.Now(), cfg.Duration)
+	if pb != nil {
+		pb.FinishRun(endTime)
+	}
 
 	res := &Result{
 		Policy:            policy.Name(),

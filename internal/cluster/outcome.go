@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"heterosched/internal/probe"
+)
+
+// Outcome classifies how a job left the system. Every admitted arrival
+// reaches exactly one outcome; Config.OnFinal receives it (OnDeparture,
+// by contrast, fires only for completions).
+type Outcome int
+
+const (
+	// OutcomeCompleted is a normal completion (within deadline, if any).
+	OutcomeCompleted Outcome = iota
+	// OutcomeLate is a completion after the job's deadline under
+	// DeadlineMark (counted as a deadline miss, excluded from goodput).
+	OutcomeLate
+	// OutcomeKilledDeadline is a deadline expiry under DeadlineKill.
+	OutcomeKilledDeadline
+	// OutcomeShedOverflow is a bounded-queue overflow shed.
+	OutcomeShedOverflow
+	// OutcomeDroppedRetryBudget is a drop after the dispatcher retry
+	// budget was exhausted (timeouts/rejections).
+	OutcomeDroppedRetryBudget
+	// OutcomeRejectedAdmission is a drop at admission control (token
+	// bucket) before any dispatch.
+	OutcomeRejectedAdmission
+	// OutcomeLostFailure is a job discarded by the fault machinery (fate
+	// Lost, or the failure-requeue budget exhausted).
+	OutcomeLostFailure
+
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{
+	"completed",
+	"late",
+	"deadline-killed",
+	"shed",
+	"retry-dropped",
+	"rejected",
+	"failure-lost",
+}
+
+// String returns the outcome's wire name, used in traces and manifests.
+func (o Outcome) String() string {
+	if o < 0 || o >= numOutcomes {
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+	return outcomeNames[o]
+}
+
+// ParseOutcome maps a wire name back to its Outcome.
+func ParseOutcome(s string) (Outcome, error) {
+	for o, name := range outcomeNames {
+		if s == name {
+			return Outcome(o), nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown outcome %q", s)
+}
+
+// Completed reports whether the job finished its work (possibly late), as
+// opposed to being killed, shed, dropped, rejected or lost.
+func (o Outcome) Completed() bool {
+	return o == OutcomeCompleted || o == OutcomeLate
+}
+
+// probeEvent maps an outcome to its terminal lifecycle event kind and
+// cause string.
+func (o Outcome) probeEvent() (probe.EventKind, string) {
+	switch o {
+	case OutcomeCompleted:
+		return probe.EvDeparture, ""
+	case OutcomeLate:
+		return probe.EvDeparture, "late"
+	case OutcomeKilledDeadline:
+		return probe.EvKill, "deadline"
+	case OutcomeShedOverflow:
+		return probe.EvDrop, "shed"
+	case OutcomeDroppedRetryBudget:
+		return probe.EvDrop, "retry-budget"
+	case OutcomeRejectedAdmission:
+		return probe.EvDrop, "admission"
+	case OutcomeLostFailure:
+		return probe.EvDrop, "failure"
+	default:
+		return probe.EvDrop, o.String()
+	}
+}

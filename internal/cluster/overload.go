@@ -6,6 +6,7 @@ import (
 
 	"heterosched/internal/dispatch"
 	"heterosched/internal/dist"
+	"heterosched/internal/probe"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
 	"heterosched/internal/stats"
@@ -295,6 +296,12 @@ type overloadRun struct {
 	arrive          func(target int, j *sim.Job)
 	onFirstDispatch func(j *sim.Job, target int)
 	onDrop          func(j *sim.Job)
+	// Observability, wired by Run: pb is nil when the probe is off; mask
+	// renders the availability mask for dispatch events (nil when events
+	// are off); final records a job's terminal outcome exactly once.
+	pb    *probe.Probe
+	mask  func() string
+	final func(j *sim.Job, o Outcome)
 
 	tb       *dispatch.TokenBucket
 	brk      []*dispatch.Breaker
@@ -385,17 +392,30 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 	if first && ov.onFirstDispatch != nil {
 		ov.onFirstDispatch(j, target)
 	}
+	if ov.pb != nil {
+		var mask string
+		if ov.mask != nil {
+			mask = ov.mask()
+		}
+		ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Attempt: j.Attempts + j.Retries, Mask: mask})
+	}
 	if !j.Probe && ov.brk != nil && !ov.brk[target].Allow() {
 		// The policy could not route around an open breaker (e.g. the
 		// whole up-set is masked): rejection without poisoning the
 		// breaker's own failure history.
 		ov.stats.RejectedBreaker++
+		if ov.pb != nil {
+			ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvRejectBreaker, Job: j.ID, Target: target})
+		}
 		ov.policy.Departed(j)
 		ov.retryOrDrop(j)
 		return
 	}
 	if ov.cfg.Admission == RejectWhenFull && ov.servers[target].InService() >= ov.cfg.QueueCap {
 		ov.stats.RejectedFull++
+		if ov.pb != nil {
+			ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvRejectFull, Job: j.ID, Target: target})
+		}
 		ov.noteFailure(target)
 		if j.Probe {
 			ov.probeFailed(j)
@@ -421,6 +441,10 @@ func (ov *overloadRun) timeout(j *sim.Job) {
 		return
 	}
 	ov.stats.Timeouts++
+	if ov.pb != nil {
+		ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvTimeout, Job: j.ID, Target: j.Target})
+		ov.noteQueue(j.Target)
+	}
 	ov.noteFailure(j.Target)
 	if j.Probe {
 		ov.probeFailed(j)
@@ -444,10 +468,17 @@ func (ov *overloadRun) retryOrDrop(j *sim.Job) {
 		j.Attempts++
 		ov.stats.Retries++
 		jj := j
-		ov.en.ScheduleAfter(ov.backoffDelay(jj), func() { ov.dispatch(jj, false) })
+		d := ov.backoffDelay(jj)
+		if ov.pb != nil {
+			ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvRetry, Job: j.ID, Target: j.Target, Cause: "backoff", Attempt: j.Attempts, Value: d})
+		}
+		ov.en.ScheduleAfter(d, func() { ov.dispatch(jj, false) })
 		return
 	}
 	ov.stats.DroppedRetryBudget++
+	if ov.final != nil {
+		ov.final(j, OutcomeDroppedRetryBudget)
+	}
 	ov.drop(j)
 }
 
@@ -476,14 +507,21 @@ func (ov *overloadRun) deadlineExpire(j *sim.Job) {
 		j.TimeoutEvent.Cancel()
 		j.TimeoutEvent = nil
 	}
-	if ov.removers[j.Target].Remove(j) && !j.Probe {
+	removed := ov.removers[j.Target].Remove(j)
+	if removed && !j.Probe {
 		// Removed from its server: the scheduler reclaims the slot now.
 		// If Remove failed the job is held at a failed computer or in
 		// backoff; its charge was (or will be) released elsewhere.
 		ov.policy.Departed(j)
 	}
+	if removed {
+		ov.noteQueue(j.Target)
+	}
 	if j.Probe {
 		ov.probeFailed(j)
+	}
+	if ov.final != nil {
+		ov.final(j, OutcomeKilledDeadline)
 	}
 	if ov.onDrop != nil {
 		ov.onDrop(j)
@@ -509,11 +547,15 @@ func (ov *overloadRun) shed(i int, j *sim.Job) {
 		return
 	}
 	ov.stats.ShedOverflow++
+	ov.noteQueue(i)
 	ov.noteFailure(i)
 	if j.Probe {
 		ov.probeFailed(j)
 	} else {
 		ov.policy.Departed(j)
+	}
+	if ov.final != nil {
+		ov.final(j, OutcomeShedOverflow)
 	}
 	ov.drop(j)
 }
@@ -593,6 +635,7 @@ func (ov *overloadRun) noteFailure(i int) {
 	}
 	if ov.brk[i].RecordFailure(ov.en.Now()) {
 		ov.stats.BreakerTrips++
+		ov.noteBreaker(i)
 		ov.scheduleHalfOpen(i)
 		ov.notifyUpSet()
 	}
@@ -600,12 +643,16 @@ func (ov *overloadRun) noteFailure(i int) {
 
 // scheduleHalfOpen arms computer i's cooldown timer.
 func (ov *overloadRun) scheduleHalfOpen(i int) {
-	ov.en.ScheduleAfter(ov.cfg.Breaker.Cooldown, func() { ov.brk[i].ToHalfOpen() })
+	ov.en.ScheduleAfter(ov.cfg.Breaker.Cooldown, func() {
+		ov.brk[i].ToHalfOpen()
+		ov.noteBreaker(i)
+	})
 }
 
 // probeSucceeded closes computer i's breaker and unmasks it.
 func (ov *overloadRun) probeSucceeded(i int) {
 	ov.brk[i].ProbeSucceeded()
+	ov.noteBreaker(i)
 	ov.notifyUpSet()
 }
 
@@ -616,7 +663,34 @@ func (ov *overloadRun) probeFailed(j *sim.Job) {
 	}
 	j.Probe = false
 	ov.brk[j.Target].ProbeFailed(ov.en.Now())
+	ov.noteBreaker(j.Target)
 	ov.scheduleHalfOpen(j.Target)
+}
+
+// noteQueue mirrors computer i's post-removal occupancy into the probe.
+func (ov *overloadRun) noteQueue(i int) {
+	if ov.pb != nil {
+		ov.pb.SetQueueLen(ov.en.Now(), i, ov.servers[i].InService())
+	}
+}
+
+// noteBreaker records computer i's breaker state in the probe: the
+// time-weighted series and a breaker transition event.
+func (ov *overloadRun) noteBreaker(i int) {
+	if ov.pb == nil {
+		return
+	}
+	st := ov.brk[i].State()
+	now := ov.en.Now()
+	ov.pb.SetBreaker(now, i, int(st))
+	ov.pb.Emit(probe.Event{T: now, Kind: probe.EvBreaker, Target: i, Cause: st.String(), Value: float64(st)})
+}
+
+// breakerClosed reports whether computer i's breaker (if any) is closed;
+// true on a nil receiver so the availability mask composes without an
+// overload layer.
+func (ov *overloadRun) breakerClosed(i int) bool {
+	return ov == nil || ov.brk == nil || ov.brk[i].State() == dispatch.BreakerClosed
 }
 
 // notifyUpSet hands a fault-aware policy the combined availability mask:

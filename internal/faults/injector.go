@@ -25,6 +25,15 @@ type Hooks struct {
 	// OnLost fires for each discarded job (fate Lost, or retry budget
 	// exhausted under RequeueToDispatcher).
 	OnLost func(j *sim.Job)
+	// OnEnterService fires when a dispatched job enters service at up
+	// computer i, immediately before the server admits it (observability).
+	OnEnterService func(i int, j *sim.Job)
+	// OnEvict fires for each job evicted by computer i's failure, before
+	// the job's fate is applied (observability).
+	OnEvict func(i int, j *sim.Job)
+	// OnResume fires when a held job re-enters service at repaired
+	// computer i, immediately before the server resumes it (observability).
+	OnResume func(i int, j *sim.Job)
 }
 
 // Injector drives the per-computer failure/repair renewal processes on a
@@ -130,6 +139,9 @@ func (inj *Injector) fail(i int) {
 	inj.setDown(now, +1)
 
 	for _, j := range inj.servers[i].Evict() {
+		if inj.hooks.OnEvict != nil {
+			inj.hooks.OnEvict(i, j)
+		}
 		inj.applyFate(i, j)
 	}
 
@@ -162,6 +174,9 @@ func (inj *Injector) repair(i int) {
 	held := inj.pending[i]
 	inj.pending[i] = nil
 	for _, j := range held {
+		if inj.hooks.OnResume != nil {
+			inj.hooks.OnResume(i, j)
+		}
 		inj.servers[i].Resume(j)
 	}
 
@@ -217,6 +232,9 @@ func (inj *Injector) lose(j *sim.Job) {
 func (inj *Injector) Arrive(i int, j *sim.Job) {
 	inj.arrived++
 	if inj.up[i] {
+		if inj.hooks.OnEnterService != nil {
+			inj.hooks.OnEnterService(i, j)
+		}
 		inj.servers[i].Arrive(j)
 		return
 	}

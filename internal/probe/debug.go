@@ -1,0 +1,67 @@
+package probe
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Live introspection for long sweeps: an HTTP endpoint serving expvar
+// (including the current probe's metric snapshot under "probe") and the
+// standard pprof profiles. Off unless a front end passes -debug-addr; the
+// simulation itself never touches this file.
+
+var (
+	liveProbe   atomic.Pointer[Probe]
+	publishOnce sync.Once
+)
+
+// PublishLive makes p the probe served under the "probe" expvar. Passing
+// nil unpublishes the snapshot (the var stays registered — expvar does
+// not support removal — but renders as null). Safe to call repeatedly;
+// the latest probe wins.
+func PublishLive(p *Probe) {
+	if p == nil {
+		liveProbe.Store(nil)
+	} else {
+		liveProbe.Store(p)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("probe", expvar.Func(func() any {
+			lp := liveProbe.Load()
+			if lp == nil {
+				return nil
+			}
+			return lp.Registry().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060";
+// ":0" picks a free port) and returns the bound address and a shutdown
+// function. It serves:
+//
+//	/debug/vars    — expvar JSON, including the published probe snapshot
+//	/debug/pprof/  — the standard pprof index, profiles and traces
+//
+// The handler mux is private, so the process-global http.DefaultServeMux
+// stays clean and repeated servers (tests) do not collide.
+func ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

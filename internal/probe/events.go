@@ -1,0 +1,225 @@
+package probe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EventKind classifies one job-lifecycle or system event. The stream for
+// one job follows arrival → dispatch (with chosen target and availability
+// mask) → possibly reject/timeout/retry cycles → service start → exactly
+// one terminal event (departure, kill or drop). Computer-level events
+// (fail, repair, breaker) and cadence samples carry no job ID.
+type EventKind uint8
+
+const (
+	// EvArrival is a job arriving at the central scheduler.
+	EvArrival EventKind = iota
+	// EvDispatch is a dispatch decision: the chosen target, the attempt
+	// number, and the availability mask the dispatcher saw ('1' = up).
+	EvDispatch
+	// EvRejectFull is a dispatch refused because the target's bounded
+	// queue was at capacity (reject-when-full admission).
+	EvRejectFull
+	// EvRejectBreaker is a dispatch refused by an open circuit breaker.
+	EvRejectBreaker
+	// EvTimeout is a dispatcher timeout: the job is pulled back.
+	EvTimeout
+	// EvRetry is a re-dispatch scheduled after backoff (value = delay in
+	// seconds; cause "timeout", "reject" or "failure").
+	EvRetry
+	// EvServiceStart is the job entering its computer (for PS/RR servers
+	// service begins immediately; for FCFS it enters the queue).
+	EvServiceStart
+	// EvEvict is a job pulled off a failed computer (cause = fate).
+	EvEvict
+	// EvResume is a held job re-entering its repaired computer.
+	EvResume
+	// EvFail is a computer going down (target = computer).
+	EvFail
+	// EvRepair is a computer coming back up (target = computer).
+	EvRepair
+	// EvBreaker is a circuit-breaker transition (cause = "open",
+	// "half-open", "closed" or "probe"; target = computer).
+	EvBreaker
+	// EvSample is a cadence sample of a time series (cause = metric name,
+	// target = computer or -1, value = sampled value).
+	EvSample
+	// EvDeparture is a terminal completion (cause "ok", or "late" for a
+	// deadline-marked job finishing past its deadline).
+	EvDeparture
+	// EvKill is a terminal deadline kill.
+	EvKill
+	// EvDrop is a terminal loss: cause "overflow" (bounded-queue shed),
+	// "retry-budget", "failure" (fault machinery) or "admission" (token
+	// bucket).
+	EvDrop
+
+	numEventKinds = int(EvDrop) + 1
+)
+
+// kindNames are the wire names, stable across releases (they appear in
+// JSONL/CSV exports and the manifest).
+var kindNames = [numEventKinds]string{
+	"arrival", "dispatch", "reject-full", "reject-breaker", "timeout",
+	"retry", "service-start", "evict", "resume", "fail", "repair",
+	"breaker", "sample", "departure", "kill", "drop",
+}
+
+// String returns the event kind's wire name.
+func (k EventKind) String() string {
+	if int(k) < numEventKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// ParseEventKind maps a wire name back to its kind.
+func ParseEventKind(s string) (EventKind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return EventKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("probe: unknown event kind %q", s)
+}
+
+// Terminal reports whether k ends a job's lifecycle.
+func (k EventKind) Terminal() bool {
+	return k == EvDeparture || k == EvKill || k == EvDrop
+}
+
+// Event is one structured record in the lifecycle stream.
+type Event struct {
+	// T is the simulation time of the event.
+	T float64 `json:"t"`
+	// Kind is the event kind (wire name in exports).
+	Kind EventKind `json:"-"`
+	// Job is the job ID, or 0 for computer-level events and samples.
+	Job int64 `json:"job,omitempty"`
+	// Target is the computer index, or -1 when not applicable.
+	Target int `json:"target"`
+	// Cause qualifies the event ("late", "overflow", "open", ...).
+	Cause string `json:"cause,omitempty"`
+	// Attempt is the dispatch attempt number (retries + 1 on dispatch).
+	Attempt int `json:"attempt,omitempty"`
+	// Value carries the event's quantity: backoff delay for retry,
+	// sampled value for sample events.
+	Value float64 `json:"value,omitempty"`
+	// Mask is the availability mask the dispatcher saw ('1' = routable),
+	// set on dispatch events when the run tracks availability.
+	Mask string `json:"mask,omitempty"`
+}
+
+// EventWriter receives the event stream. Writers are invoked from the
+// simulation goroutine in event order; they must not retain the event.
+type EventWriter interface {
+	Write(e *Event) error
+	// Flush drains any buffering to the underlying sink.
+	Flush() error
+}
+
+// JSONLWriter exports events as one JSON object per line. The encoding is
+// hand-rolled over a reused buffer so a multi-million-event run does not
+// allocate per event.
+type JSONLWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewJSONLWriter returns a JSONL exporter writing to w. Wrap w in a
+// bufio.Writer for file sinks; Flush does not fsync.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Write encodes one event as a JSON line.
+func (jw *JSONLWriter) Write(e *Event) error {
+	b := jw.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, e.T, 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Job != 0 {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendInt(b, e.Job, 10)
+	}
+	if e.Target >= 0 {
+		b = append(b, `,"target":`...)
+		b = strconv.AppendInt(b, int64(e.Target), 10)
+	}
+	if e.Cause != "" {
+		b = append(b, `,"cause":`...)
+		b = strconv.AppendQuote(b, e.Cause)
+	}
+	if e.Attempt != 0 {
+		b = append(b, `,"attempt":`...)
+		b = strconv.AppendInt(b, int64(e.Attempt), 10)
+	}
+	if e.Value != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendFloat(b, e.Value, 'g', -1, 64)
+	}
+	if e.Mask != "" {
+		b = append(b, `,"mask":"`...)
+		b = append(b, e.Mask...)
+		b = append(b, '"')
+	}
+	b = append(b, '}', '\n')
+	jw.buf = b
+	_, err := jw.w.Write(b)
+	return err
+}
+
+// Flush is a no-op for the JSONL writer itself (buffering belongs to the
+// underlying writer).
+func (jw *JSONLWriter) Flush() error {
+	if f, ok := jw.w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// CSVWriter exports events as CSV with a fixed column set:
+// t,kind,job,target,cause,attempt,value,mask.
+type CSVWriter struct {
+	cw          *csv.Writer
+	wroteHeader bool
+	row         [8]string
+}
+
+// NewCSVWriter returns a CSV exporter writing to w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+// eventCSVHeader is the exported column layout.
+var eventCSVHeader = []string{"t", "kind", "job", "target", "cause", "attempt", "value", "mask"}
+
+// Write encodes one event as a CSV row (header emitted lazily).
+func (cw *CSVWriter) Write(e *Event) error {
+	if !cw.wroteHeader {
+		if err := cw.cw.Write(eventCSVHeader); err != nil {
+			return err
+		}
+		cw.wroteHeader = true
+	}
+	cw.row[0] = strconv.FormatFloat(e.T, 'g', -1, 64)
+	cw.row[1] = e.Kind.String()
+	cw.row[2] = strconv.FormatInt(e.Job, 10)
+	cw.row[3] = strconv.Itoa(e.Target)
+	cw.row[4] = e.Cause
+	cw.row[5] = strconv.Itoa(e.Attempt)
+	cw.row[6] = strconv.FormatFloat(e.Value, 'g', -1, 64)
+	cw.row[7] = e.Mask
+	return cw.cw.Write(cw.row[:])
+}
+
+// Flush drains the CSV buffer.
+func (cw *CSVWriter) Flush() error {
+	cw.cw.Flush()
+	return cw.cw.Error()
+}

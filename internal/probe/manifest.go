@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// ManifestSchemaVersion is the current manifest schema. Consumers (the
+// probecheck validator, CI) reject other versions; bump it when a field
+// changes meaning, not when fields are added.
+const ManifestSchemaVersion = 1
+
+// Manifest is the per-run provenance record written next to results: what
+// was run (tool, arguments, configuration, seed, code version), how long
+// it took (wall and simulated time), and the final metric snapshot. The
+// schema is documented in DESIGN.md §8.
+type Manifest struct {
+	// Schema is the manifest schema version (ManifestSchemaVersion).
+	Schema int `json:"schema"`
+	// Tool names the producing command ("heterosim", "sweep").
+	Tool string `json:"tool"`
+	// Args are the command-line arguments the run was invoked with.
+	Args []string `json:"args,omitempty"`
+	// Git is `git describe --always --dirty` of the working tree, when
+	// available.
+	Git string `json:"git,omitempty"`
+	// Start is the wall-clock start time, RFC 3339.
+	Start string `json:"start"`
+	// WallSeconds is the elapsed wall-clock time of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Seed is the root random seed.
+	Seed uint64 `json:"seed"`
+	// Config is the run configuration as free-form key/value pairs
+	// (speeds, rho, policy, duration, flags of the optional subsystems).
+	Config map[string]any `json:"config"`
+	// SimTime is the total simulated time (seconds) of the instrumented
+	// run, including the post-horizon drain.
+	SimTime float64 `json:"sim_time"`
+	// Metrics is the final metric snapshot: the paper metrics plus the
+	// probe registry's FinalSnapshot when a probe was attached.
+	Metrics map[string]float64 `json:"metrics"`
+	// Events are the lifecycle event totals by kind, when events were
+	// recorded.
+	Events map[string]int64 `json:"events,omitempty"`
+}
+
+// NewManifest starts a manifest for the given tool with the schema
+// version, start time and git description filled in.
+func NewManifest(tool string, args []string, start time.Time) *Manifest {
+	return &Manifest{
+		Schema:  ManifestSchemaVersion,
+		Tool:    tool,
+		Args:    args,
+		Git:     GitDescribe(""),
+		Start:   start.UTC().Format(time.RFC3339),
+		Config:  map[string]any{},
+		Metrics: map[string]float64{},
+	}
+}
+
+// Validate checks the manifest against the documented schema: version,
+// required fields, and parseable start time. probecheck and the CI smoke
+// test run this against written manifests.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchemaVersion {
+		return fmt.Errorf("probe: manifest schema %d, want %d", m.Schema, ManifestSchemaVersion)
+	}
+	if m.Tool == "" {
+		return fmt.Errorf("probe: manifest missing tool")
+	}
+	if _, err := time.Parse(time.RFC3339, m.Start); err != nil {
+		return fmt.Errorf("probe: manifest start %q not RFC 3339: %v", m.Start, err)
+	}
+	if m.WallSeconds < 0 {
+		return fmt.Errorf("probe: manifest wall_seconds %v negative", m.WallSeconds)
+	}
+	if m.Config == nil {
+		return fmt.Errorf("probe: manifest missing config")
+	}
+	if !(m.SimTime > 0) {
+		return fmt.Errorf("probe: manifest sim_time %v must be positive", m.SimTime)
+	}
+	if m.Metrics == nil {
+		return fmt.Errorf("probe: manifest missing metrics")
+	}
+	return nil
+}
+
+// WriteFile validates the manifest and writes it as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest parses and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("probe: manifest %s: %v", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("probe: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// GitDescribe returns `git describe --always --dirty` for dir (empty =
+// current directory), or "" when git or the repository is unavailable —
+// manifests stay writable outside a checkout.
+func GitDescribe(dir string) string {
+	cmd := exec.Command("git", "describe", "--always", "--dirty")
+	if dir != "" {
+		cmd.Dir = dir
+	}
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,288 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"heterosched/internal/stats"
+)
+
+// Options selects which probe facilities a run activates. The zero value
+// activates nothing: a Probe built from it reports Enabled() == false and
+// the simulation treats it exactly like a nil probe.
+type Options struct {
+	// Metrics activates the metrics registry: per-computer queue length,
+	// up/down state, breaker state and in-system count as time-weighted
+	// series updated on event boundaries, plus per-computer interarrival
+	// statistics (the §3 burstiness measurement).
+	Metrics bool
+	// SampleDT, when positive, additionally samples the series every
+	// SampleDT simulated seconds; samples are exported as "sample" events
+	// when an event writer is attached. Implies Metrics.
+	SampleDT float64
+	// Events, when non-nil, receives the structured lifecycle event
+	// stream (JSONL or CSV exporter, or any custom sink).
+	Events EventWriter
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.SampleDT < 0 || math.IsNaN(o.SampleDT) || math.IsInf(o.SampleDT, 0) {
+		return fmt.Errorf("probe: sample interval %v invalid (must be >= 0 and finite)", o.SampleDT)
+	}
+	return nil
+}
+
+// Probe is one run's observability attachment. A Probe belongs to exactly
+// one simulation run (it is not safe to share across parallel
+// replications); metric reads through Registry().Snapshot() are safe from
+// other goroutines while the run executes.
+type Probe struct {
+	opts Options
+	reg  *Registry
+
+	n int // computers, set by Start
+
+	counts [numEventKinds]*Counter
+
+	queueLen []*Series
+	upState  []*Series
+	breaker  []*Series
+	inSystem *Series
+	utilPts  []*Series
+
+	lastArrival []float64
+	interGaps   []stats.Accumulator
+	lastBusy    []float64
+	lastSample  float64
+
+	err error
+}
+
+// New builds a probe from options. A probe with nothing enabled is valid
+// and inert.
+func New(o Options) (*Probe, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if o.SampleDT > 0 {
+		o.Metrics = true
+	}
+	p := &Probe{opts: o, reg: NewRegistry()}
+	for k := 0; k < numEventKinds; k++ {
+		p.counts[k] = p.reg.Counter("events." + EventKind(k).String())
+	}
+	return p, nil
+}
+
+// Enabled reports whether the probe does anything at all. The simulation
+// must treat a nil or disabled probe as fully off.
+func (p *Probe) Enabled() bool {
+	return p != nil && (p.opts.Metrics || p.opts.Events != nil)
+}
+
+// EventsOn reports whether a lifecycle event writer is attached.
+func (p *Probe) EventsOn() bool { return p != nil && p.opts.Events != nil }
+
+// SampleDT returns the cadence sampling interval (0 = event-boundary
+// integration only).
+func (p *Probe) SampleDT() float64 { return p.opts.SampleDT }
+
+// Registry exposes the metrics registry (nil until New).
+func (p *Probe) Registry() *Registry { return p.reg }
+
+// Err returns the first event-writer error, if any.
+func (p *Probe) Err() error { return p.err }
+
+// Start sizes the per-computer metric vectors; the simulation calls it
+// once before the first arrival.
+func (p *Probe) Start(n int, now float64) {
+	p.n = n
+	if !p.opts.Metrics {
+		return
+	}
+	p.queueLen = make([]*Series, n)
+	p.upState = make([]*Series, n)
+	p.breaker = make([]*Series, n)
+	p.utilPts = make([]*Series, n)
+	p.lastArrival = make([]float64, n)
+	p.interGaps = make([]stats.Accumulator, n)
+	p.lastBusy = make([]float64, n)
+	for i := 0; i < n; i++ {
+		is := strconv.Itoa(i)
+		p.queueLen[i] = p.reg.Series("queue_len." + is)
+		p.upState[i] = p.reg.Series("up." + is)
+		p.breaker[i] = p.reg.Series("breaker." + is)
+		p.utilPts[i] = p.reg.Series("util." + is)
+		p.queueLen[i].Update(now, 0)
+		p.upState[i].Update(now, 1)
+		p.breaker[i].Update(now, 0)
+		p.lastArrival[i] = math.NaN()
+	}
+	p.inSystem = p.reg.Series("in_system")
+	p.inSystem.Update(now, 0)
+	p.lastSample = now
+}
+
+// Emit records one lifecycle event: the per-kind counter always, the
+// stream when a writer is attached. The first writer error is latched and
+// stops further writes.
+func (p *Probe) Emit(e Event) {
+	p.counts[e.Kind].Inc()
+	if p.opts.Events == nil || p.err != nil {
+		return
+	}
+	if err := p.opts.Events.Write(&e); err != nil {
+		p.err = err
+	}
+}
+
+// Flush drains the event writer.
+func (p *Probe) Flush() error {
+	if p.opts.Events == nil {
+		return nil
+	}
+	if err := p.opts.Events.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// SetQueueLen updates computer i's queue-length series (jobs present, in
+// service plus queued) at an event boundary.
+func (p *Probe) SetQueueLen(t float64, i, qlen int) {
+	if p.queueLen != nil {
+		p.queueLen[i].Update(t, float64(qlen))
+	}
+}
+
+// SetUp updates computer i's up/down series (1 = up).
+func (p *Probe) SetUp(t float64, i int, up bool) {
+	if p.upState != nil {
+		v := 0.0
+		if up {
+			v = 1
+		}
+		p.upState[i].Update(t, v)
+	}
+}
+
+// SetBreaker updates computer i's breaker-state series (0 = closed,
+// 1 = open, 2 = half-open, matching dispatch.BreakerState).
+func (p *Probe) SetBreaker(t float64, i, state int) {
+	if p.breaker != nil {
+		p.breaker[i].Update(t, float64(state))
+	}
+}
+
+// SetInSystem updates the jobs-in-system series.
+func (p *Probe) SetInSystem(t float64, v int64) {
+	if p.inSystem != nil {
+		p.inSystem.Update(t, float64(v))
+	}
+}
+
+// NoteSubstream records that a job with the given arrival time was
+// first-dispatched to computer i, feeding the per-computer interarrival
+// statistics. Calls must come in non-decreasing arrival order (they do:
+// first dispatch happens at arrival time).
+func (p *Probe) NoteSubstream(i int, arrival float64) {
+	if p.interGaps == nil {
+		return
+	}
+	if last := p.lastArrival[i]; !math.IsNaN(last) {
+		p.interGaps[i].Add(arrival - last)
+	}
+	p.lastArrival[i] = arrival
+}
+
+// InterarrivalCV returns the coefficient of variation of computer i's
+// arrival substream gaps and the number of gaps observed. This is the §3
+// burstiness measurement: round-robin splitting (ORR) yields smoother
+// substreams (lower CV) than probabilistic splitting (ORAN) from the same
+// arrival process.
+func (p *Probe) InterarrivalCV(i int) (cv float64, gaps int64) {
+	if p.interGaps == nil || i < 0 || i >= len(p.interGaps) {
+		return 0, 0
+	}
+	return p.interGaps[i].CV(), p.interGaps[i].N()
+}
+
+// Sample takes one cadence sample at time t: per-computer queue length
+// and cumulative busy time (for the utilization-over-interval series) and
+// the in-system count. The simulation passes reused slices; Sample copies
+// what it keeps. Samples are exported as EvSample events when a writer is
+// attached.
+func (p *Probe) Sample(t float64, queueLens []int, busy []float64, inSystem int64) {
+	if p.queueLen == nil {
+		return
+	}
+	dt := t - p.lastSample
+	for i := 0; i < p.n; i++ {
+		q := float64(queueLens[i])
+		p.queueLen[i].Update(t, q)
+		p.queueLen[i].AddPoint(t, q)
+		u := 0.0
+		if dt > 0 {
+			u = (busy[i] - p.lastBusy[i]) / dt
+		}
+		p.utilPts[i].Update(t, u)
+		p.utilPts[i].AddPoint(t, u)
+		p.lastBusy[i] = busy[i]
+		p.Emit(Event{T: t, Kind: EvSample, Target: i, Cause: "queue_len", Value: q})
+		p.Emit(Event{T: t, Kind: EvSample, Target: i, Cause: "util", Value: u})
+	}
+	p.inSystem.Update(t, float64(inSystem))
+	p.inSystem.AddPoint(t, float64(inSystem))
+	p.Emit(Event{T: t, Kind: EvSample, Target: -1, Cause: "in_system", Value: float64(inSystem)})
+	p.lastSample = t
+}
+
+// FinishRun closes every time-weighted series at the run's end time and
+// folds the interarrival CVs into the registry as gauges
+// ("interarrival_cv.<i>"). Call once, after the simulation drained.
+func (p *Probe) FinishRun(t float64) {
+	if p.queueLen == nil {
+		return
+	}
+	for i := 0; i < p.n; i++ {
+		p.queueLen[i].Finish(t)
+		p.upState[i].Finish(t)
+		p.breaker[i].Finish(t)
+		cv, gaps := p.InterarrivalCV(i)
+		p.reg.Gauge("interarrival_cv." + strconv.Itoa(i)).Set(cv)
+		p.reg.Gauge("interarrival_gaps." + strconv.Itoa(i)).Set(float64(gaps))
+	}
+	p.inSystem.Finish(t)
+}
+
+// KindCount is one row of the events-by-kind summary.
+type KindCount struct {
+	Kind  EventKind
+	Count int64
+}
+
+// EventCounts returns the per-kind event totals in kind order, skipping
+// kinds that never occurred.
+func (p *Probe) EventCounts() []KindCount {
+	var out []KindCount
+	for k := 0; k < numEventKinds; k++ {
+		if c := p.counts[k].Value(); c > 0 {
+			out = append(out, KindCount{Kind: EventKind(k), Count: c})
+		}
+	}
+	return out
+}
+
+// EventCountMap returns the per-kind totals keyed by wire name (for the
+// manifest), skipping zero kinds.
+func (p *Probe) EventCountMap() map[string]int64 {
+	out := map[string]int64{}
+	for k := 0; k < numEventKinds; k++ {
+		if c := p.counts[k].Value(); c > 0 {
+			out[EventKind(k).String()] = c
+		}
+	}
+	return out
+}

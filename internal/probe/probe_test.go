@@ -1,0 +1,301 @@
+package probe
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryTypesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("jobs") != c {
+		t.Error("counter registration not idempotent")
+	}
+	g := r.Gauge("rho")
+	g.Set(0.7)
+	if g.Value() != 0.7 {
+		t.Errorf("gauge = %v, want 0.7", g.Value())
+	}
+	s := r.Series("q")
+	s.Update(0, 2)
+	s.Update(10, 4)
+	s.Finish(20)
+	// 2 over [0,10], 4 over [10,20] → mean 3.
+	if s.Mean() != 3 {
+		t.Errorf("series mean = %v, want 3", s.Mean())
+	}
+	if s.Value() != 4 {
+		t.Errorf("series current = %v, want 4", s.Value())
+	}
+	snap := r.Snapshot()
+	if snap["jobs"] != 3 || snap["rho"] != 0.7 || snap["q"] != 4 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	final := r.FinalSnapshot()
+	if final["q.mean"] != 3 {
+		t.Errorf("final snapshot q.mean = %v, want 3", final["q.mean"])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-type registration did not panic")
+		}
+	}()
+	r.Gauge("jobs")
+}
+
+func TestSeriesPoints(t *testing.T) {
+	var s Series
+	s.AddPoint(1, 10)
+	s.AddPoint(2, 20)
+	pts := s.Points()
+	if len(pts) != 2 || pts[0] != (Point{1, 10}) || pts[1] != (Point{2, 20}) {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestEventKindRoundTrip(t *testing.T) {
+	for k := 0; k < numEventKinds; k++ {
+		kind := EventKind(k)
+		got, err := ParseEventKind(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParseEventKind(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if _, err := ParseEventKind("bogus"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	for _, k := range []EventKind{EvDeparture, EvKill, EvDrop} {
+		if !k.Terminal() {
+			t.Errorf("%v not terminal", k)
+		}
+	}
+	for _, k := range []EventKind{EvArrival, EvDispatch, EvRetry, EvSample} {
+		if k.Terminal() {
+			t.Errorf("%v terminal", k)
+		}
+	}
+}
+
+func TestJSONLWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	events := []Event{
+		{T: 1.5, Kind: EvArrival, Job: 7, Target: -1},
+		{T: 1.5, Kind: EvDispatch, Job: 7, Target: 2, Attempt: 1, Mask: "1101"},
+		{T: 2.25, Kind: EvRetry, Job: 7, Target: 2, Cause: "timeout", Value: 0.5},
+		{T: 9, Kind: EvDeparture, Job: 7, Target: 2, Cause: "ok"},
+		{T: 10, Kind: EvSample, Target: 0, Cause: "queue_len", Value: 3},
+	}
+	for i := range events {
+		if err := w.Write(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := VerifyJSONL(strings.NewReader(buf.String()), true)
+	if err != nil {
+		t.Fatalf("verify: %v\nstream:\n%s", err, buf.String())
+	}
+	if st.Events != 5 || st.Jobs != 1 || st.Terminated != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByKind["retry"] != 1 || st.ByKind["sample"] != 1 {
+		t.Errorf("by kind = %v", st.ByKind)
+	}
+}
+
+func TestCSVWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	if err := w.Write(&Event{T: 1, Kind: EvArrival, Job: 1, Target: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + row", len(lines))
+	}
+	if lines[0] != "t,kind,job,target,cause,attempt,value,mask" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,arrival,1,-1") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestVerifyJSONLViolations(t *testing.T) {
+	cases := []struct {
+		label, stream string
+	}{
+		{"no arrival", `{"t":1,"kind":"dispatch","job":1,"target":0}`},
+		{"double arrival", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"arrival\",\"job\":1}"},
+		{"after terminal", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"drop\",\"job\":1,\"target\":0,\"cause\":\"failure\"}\n{\"t\":3,\"kind\":\"retry\",\"job\":1,\"target\":0}"},
+		{"time backwards", "{\"t\":5,\"kind\":\"arrival\",\"job\":1}\n{\"t\":4,\"kind\":\"arrival\",\"job\":2}"},
+		{"service before dispatch", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"service-start\",\"job\":1,\"target\":0}"},
+		{"unknown kind", `{"t":1,"kind":"warp","job":1}`},
+	}
+	for _, c := range cases {
+		if _, err := VerifyJSONL(strings.NewReader(c.stream), false); err == nil {
+			t.Errorf("%s: verification passed, want error", c.label)
+		}
+	}
+	// A clean stream with an unterminated job passes without
+	// requireTerminal and fails with it.
+	open := "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":1,\"kind\":\"dispatch\",\"job\":1,\"target\":0}"
+	if _, err := VerifyJSONL(strings.NewReader(open), false); err != nil {
+		t.Errorf("open stream rejected without requireTerminal: %v", err)
+	}
+	if _, err := VerifyJSONL(strings.NewReader(open), true); err == nil {
+		t.Error("unterminated job accepted with requireTerminal")
+	}
+}
+
+func TestProbeLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	p, err := New(Options{SampleDT: 5, Events: NewJSONLWriter(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() || !p.EventsOn() {
+		t.Fatal("probe not enabled")
+	}
+	p.Start(2, 0)
+	p.Emit(Event{T: 0, Kind: EvArrival, Job: 1, Target: -1})
+	p.Emit(Event{T: 0, Kind: EvDispatch, Job: 1, Target: 1, Attempt: 1, Mask: "11"})
+	p.NoteSubstream(1, 0)
+	p.Emit(Event{T: 0, Kind: EvServiceStart, Job: 1, Target: 1})
+	p.SetQueueLen(0, 1, 1)
+	p.SetInSystem(0, 1)
+	p.Sample(5, []int{0, 1}, []float64{0, 5}, 1)
+	p.Emit(Event{T: 7, Kind: EvArrival, Job: 2, Target: -1})
+	p.Emit(Event{T: 7, Kind: EvDispatch, Job: 2, Target: 1, Attempt: 1, Mask: "11"})
+	p.NoteSubstream(1, 7)
+	p.Emit(Event{T: 7, Kind: EvServiceStart, Job: 2, Target: 1})
+	p.Emit(Event{T: 8, Kind: EvDeparture, Job: 1, Target: 1, Cause: "ok"})
+	p.Emit(Event{T: 9, Kind: EvDeparture, Job: 2, Target: 1, Cause: "ok"})
+	p.SetQueueLen(9, 1, 0)
+	p.SetInSystem(9, 0)
+	p.FinishRun(10)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := VerifyJSONL(&buf, true)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if st.Jobs != 2 || st.Terminated != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	counts := p.EventCountMap()
+	if counts["arrival"] != 2 || counts["departure"] != 2 || counts["sample"] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+	// One gap on computer 1 (7 − 0); a single gap has CV 0.
+	cv, gaps := p.InterarrivalCV(1)
+	if gaps != 1 || cv != 0 {
+		t.Errorf("interarrival cv=%v gaps=%d", cv, gaps)
+	}
+	// util over [0,5] on computer 1: busy delta 5 over dt 5 → 1.0.
+	pts := p.Registry().Series("util.1").Points()
+	if len(pts) != 1 || pts[0].V != 1 {
+		t.Errorf("util points = %v", pts)
+	}
+	final := p.Registry().FinalSnapshot()
+	if final["events.arrival"] != 2 {
+		t.Errorf("final events.arrival = %v", final["events.arrival"])
+	}
+	if _, ok := final["interarrival_cv.1"]; !ok {
+		t.Error("interarrival_cv.1 missing from final snapshot")
+	}
+}
+
+func TestDisabledProbeInert(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled() {
+		t.Error("empty options produced an enabled probe")
+	}
+	var nilP *Probe
+	if nilP.Enabled() || nilP.EventsOn() {
+		t.Error("nil probe reports enabled")
+	}
+	if _, err := New(Options{SampleDT: math.Inf(1)}); err == nil {
+		t.Error("infinite sample interval accepted")
+	}
+	if _, err := New(Options{SampleDT: -1}); err == nil {
+		t.Error("negative sample interval accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("heterosim", []string{"-rho", "0.7"}, time.Now())
+	m.Seed = 42
+	m.Config["rho"] = 0.7
+	m.SimTime = 1e4
+	m.WallSeconds = 1.25
+	m.Metrics["mean_response_ratio"] = 0.85
+	m.Events = map[string]int64{"arrival": 100}
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.SimTime != 1e4 || got.Events["arrival"] != 100 {
+		t.Errorf("manifest round trip = %+v", got)
+	}
+	// Schema violations are rejected on both write and read.
+	bad := *m
+	bad.SimTime = 0
+	if err := bad.WriteFile(path); err == nil {
+		t.Error("zero sim_time accepted")
+	}
+	bad = *m
+	bad.Schema = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	p, err := New(Options{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(1, 0)
+	p.Registry().Gauge("answer").Set(42)
+	PublishLive(p)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), `"answer"`) {
+		t.Errorf("/debug/vars missing probe snapshot: %s", body.String())
+	}
+	PublishLive(nil)
+}

@@ -1,0 +1,129 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// VerifyStats summarizes a verified event stream.
+type VerifyStats struct {
+	// Events is the total number of events read.
+	Events int64
+	// Jobs is the number of distinct jobs that arrived.
+	Jobs int64
+	// Terminated is the number of jobs with a terminal event.
+	Terminated int64
+	// ByKind counts events per kind wire name.
+	ByKind map[string]int64
+}
+
+// wireEvent mirrors the JSONL encoding for decoding. Target defaults to
+// -1 because the writer omits negative targets.
+type wireEvent struct {
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Job     int64   `json:"job"`
+	Target  *int    `json:"target"`
+	Cause   string  `json:"cause"`
+	Attempt int     `json:"attempt"`
+	Value   float64 `json:"value"`
+	Mask    string  `json:"mask"`
+}
+
+// jobState tracks one job through verification.
+type jobState struct {
+	lastT      float64
+	dispatched bool
+	terminal   bool
+}
+
+// VerifyJSONL reads a JSONL event stream and checks the lifecycle
+// invariants the simulator promises:
+//
+//   - every event kind is known and times are globally non-decreasing;
+//   - a job's first event is its arrival, at most once per job;
+//   - per job, event times are monotone: arrival ≤ dispatch ≤
+//     service-start ≤ terminal;
+//   - a service start is preceded by a dispatch (or resume);
+//   - every job reaches at most one terminal event, with nothing after
+//     it.
+//
+// With requireTerminal (a drained run), every arrived job must have
+// reached exactly one terminal event. The first violation is returned
+// with its line number.
+func VerifyJSONL(r io.Reader, requireTerminal bool) (*VerifyStats, error) {
+	st := &VerifyStats{ByKind: map[string]int64{}}
+	jobs := map[int64]*jobState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	lastT := 0.0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e wireEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return st, fmt.Errorf("line %d: bad JSON: %v", line, err)
+		}
+		kind, err := ParseEventKind(e.Kind)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", line, err)
+		}
+		st.Events++
+		st.ByKind[e.Kind]++
+		if e.T < lastT {
+			return st, fmt.Errorf("line %d: time went backwards (%v after %v)", line, e.T, lastT)
+		}
+		lastT = e.T
+		if e.Job == 0 {
+			continue // computer-level event or sample
+		}
+		js := jobs[e.Job]
+		if kind == EvArrival {
+			if js != nil {
+				return st, fmt.Errorf("line %d: job %d arrived twice", line, e.Job)
+			}
+			jobs[e.Job] = &jobState{lastT: e.T}
+			st.Jobs++
+			continue
+		}
+		if js == nil {
+			return st, fmt.Errorf("line %d: job %d has %s before arrival", line, e.Job, e.Kind)
+		}
+		if js.terminal {
+			return st, fmt.Errorf("line %d: job %d has %s after its terminal event", line, e.Job, e.Kind)
+		}
+		if e.T < js.lastT {
+			return st, fmt.Errorf("line %d: job %d time went backwards (%v after %v)", line, e.Job, e.T, js.lastT)
+		}
+		js.lastT = e.T
+		switch kind {
+		case EvDispatch:
+			js.dispatched = true
+		case EvServiceStart:
+			if !js.dispatched {
+				return st, fmt.Errorf("line %d: job %d started service without a dispatch", line, e.Job)
+			}
+		}
+		if kind.Terminal() {
+			js.terminal = true
+			st.Terminated++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if requireTerminal {
+		for id, js := range jobs {
+			if !js.terminal {
+				return st, fmt.Errorf("job %d arrived but never reached a terminal event", id)
+			}
+		}
+	}
+	return st, nil
+}

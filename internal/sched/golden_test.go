@@ -6,6 +6,8 @@ import (
 	"heterosched/internal/cluster"
 	"heterosched/internal/dist"
 	"heterosched/internal/faults"
+	"heterosched/internal/probe"
+	"heterosched/internal/sim"
 )
 
 // TestGoldenDefaults locks the simulator's output bit-for-bit for runs
@@ -46,6 +48,46 @@ func TestGoldenDefaults(t *testing.T) {
 		if res.Overload != nil || res.InSystemSeries != nil {
 			t.Errorf("%s: overload fields populated on a default run", c.label)
 		}
+	}
+}
+
+// TestGoldenProbesOff locks the observability layer's inertness promise
+// to the same golden constants: attaching a disabled probe and a
+// terminal-outcome hook must leave the run bit-identical to the default
+// ORR run above. If this drifts while TestGoldenDefaults still passes,
+// the probe wiring leaked into the probes-off path.
+func TestGoldenProbesOff(t *testing.T) {
+	p, err := probe.New(probe.Options{}) // valid, nothing enabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := 0
+	cfg := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    5e4,
+		Seed:        7,
+		Probe:       p,
+		OnFinal:     func(*sim.Job, cluster.Outcome) { finals++ },
+	}
+	res, err := cluster.Run(cfg, ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantTime  = 80.32010488757426
+		wantRatio = 0.85354843255027757
+		wantFair  = 0.76359187852407262
+	)
+	if res.MeanResponseTime != wantTime || res.MeanResponseRatio != wantRatio ||
+		res.Fairness != wantFair || res.Jobs != 3741 || res.GeneratedJobs != 5160 {
+		t.Errorf("probes-off run drifted from golden values:\n got  time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d\n want time=%.17g ratio=%.17g fair=%.17g jobs=3741 gen=5160",
+			res.MeanResponseTime, res.MeanResponseRatio, res.Fairness, res.Jobs, res.GeneratedJobs,
+			wantTime, wantRatio, wantFair)
+	}
+	// OnFinal observes post-warm-up jobs only — exactly the counted ones.
+	if int64(finals) != res.Jobs {
+		t.Errorf("OnFinal fired %d times, want %d (post-warm-up completions)", finals, res.Jobs)
 	}
 }
 

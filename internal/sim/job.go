@@ -42,6 +42,12 @@ type Job struct {
 	Killed bool
 	// Probe marks a circuit-breaker half-open probe dispatch.
 	Probe bool
+	// Finalized marks that the job's terminal outcome has been recorded
+	// (completion, kill, shed, drop, rejection or loss). The run uses it
+	// to guarantee exactly-once terminal accounting when subsystems
+	// overlap — e.g. a deadline-killed job that later surfaces from a
+	// failed computer must not be finalized twice.
+	Finalized bool
 	// TimeoutEvent and DeadlineEvent are the overload layer's pending
 	// timers for this job, cancelled when the job leaves the system.
 	TimeoutEvent, DeadlineEvent *Event

@@ -1,15 +1,21 @@
 // Package trace records and reads per-job simulation traces. A trace is a
-// CSV stream with one row per completed job — id, target computer,
-// arrival time, size, completion time — enabling offline analysis
-// (response-time distributions, per-computer breakdowns) and regression
-// comparison between runs.
+// CSV stream with one row per finished job — id, target computer, arrival
+// time, size, completion time, terminal outcome, retry count — enabling
+// offline analysis (response-time distributions, per-computer breakdowns)
+// and regression comparison between runs.
 //
-// Wire a Writer into a simulation through cluster.Config.OnDeparture:
+// Wire a Writer into a simulation through cluster.Config.OnFinal, which
+// fires for every terminal outcome (kills, sheds and drops included), not
+// just completions:
 //
 //	w := trace.NewWriter(f)
-//	cfg.OnDeparture = func(j *sim.Job) { _ = w.Record(j) }
+//	cfg.OnFinal = func(j *sim.Job, o cluster.Outcome) { _ = w.RecordFinal(j, o) }
 //	... run ...
 //	err := w.Flush()
+//
+// The Reader also accepts the legacy five-column format (no outcome or
+// retries columns); legacy rows read back as outcome "completed" with
+// zero retries.
 package trace
 
 import (
@@ -25,16 +31,27 @@ import (
 	"heterosched/internal/stats"
 )
 
-// header is the CSV column layout, written once per trace.
-var header = []string{"id", "target", "arrival", "size", "completion"}
+// header is the CSV column layout, written once per trace. The first
+// legacyColumns columns match the original format; outcome and retries
+// were appended later, and the Reader accepts both layouts.
+var header = []string{"id", "target", "arrival", "size", "completion", "outcome", "retries"}
 
-// Record is one completed job.
+// legacyColumns is the column count of the original trace format.
+const legacyColumns = 5
+
+// Record is one finished job.
 type Record struct {
 	ID         int64
 	Target     int
 	Arrival    float64
 	Size       float64
 	Completion float64
+	// Outcome is the terminal outcome's wire name (cluster.Outcome); a
+	// legacy trace reads back as "completed".
+	Outcome string
+	// Retries is the total number of re-dispatches the job saw: fault
+	// requeues plus dispatcher retry/backoff attempts.
+	Retries int
 }
 
 // ResponseTime returns Completion − Arrival.
@@ -55,14 +72,24 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{cw: csv.NewWriter(w)}
 }
 
-// Record appends one completed job to the trace.
+// Record appends one completed job to the trace with outcome "completed";
+// use RecordFinal when recording through cluster.Config.OnFinal.
 func (w *Writer) Record(j *sim.Job) error {
+	return w.RecordFinal(j, cluster.OutcomeCompleted)
+}
+
+// RecordFinal appends one finished job with its terminal outcome. It is
+// designed as the cluster.Config.OnFinal callback: every job fate is
+// recorded, with Completion zero for jobs that never completed.
+func (w *Writer) RecordFinal(j *sim.Job, o cluster.Outcome) error {
 	return w.Append(Record{
 		ID:         j.ID,
 		Target:     j.Target,
 		Arrival:    j.Arrival,
 		Size:       j.Size,
 		Completion: j.Completion,
+		Outcome:    o.String(),
+		Retries:    j.Retries + j.Attempts,
 	})
 }
 
@@ -74,12 +101,18 @@ func (w *Writer) Append(r Record) error {
 		}
 		w.wroteHeader = true
 	}
+	outcome := r.Outcome
+	if outcome == "" {
+		outcome = cluster.OutcomeCompleted.String()
+	}
 	return w.cw.Write([]string{
 		strconv.FormatInt(r.ID, 10),
 		strconv.Itoa(r.Target),
 		strconv.FormatFloat(r.Arrival, 'g', -1, 64),
 		strconv.FormatFloat(r.Size, 'g', -1, 64),
 		strconv.FormatFloat(r.Completion, 'g', -1, 64),
+		outcome,
+		strconv.Itoa(r.Retries),
 	})
 }
 
@@ -95,10 +128,11 @@ type Reader struct {
 	seenHd bool
 }
 
-// NewReader returns a Reader over CSV trace data.
+// NewReader returns a Reader over CSV trace data, current or legacy
+// five-column format.
 func NewReader(r io.Reader) *Reader {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(header)
+	cr.FieldsPerRecord = -1 // validated per row: legacy or current width
 	return &Reader{cr: cr}
 }
 
@@ -135,6 +169,9 @@ func (r *Reader) ReadAll() ([]Record, error) {
 }
 
 func parseRow(row []string) (Record, error) {
+	if len(row) != len(header) && len(row) != legacyColumns {
+		return Record{}, fmt.Errorf("trace: row has %d columns, want %d (or legacy %d)", len(row), len(header), legacyColumns)
+	}
 	id, err := strconv.ParseInt(row[0], 10, 64)
 	if err != nil {
 		return Record{}, fmt.Errorf("trace: bad id %q: %v", row[0], err)
@@ -155,7 +192,21 @@ func parseRow(row []string) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("trace: bad completion %q: %v", row[4], err)
 	}
-	return Record{ID: id, Target: target, Arrival: arrival, Size: size, Completion: completion}, nil
+	rec := Record{ID: id, Target: target, Arrival: arrival, Size: size, Completion: completion,
+		Outcome: cluster.OutcomeCompleted.String()}
+	if len(row) == legacyColumns {
+		return rec, nil
+	}
+	if _, err := cluster.ParseOutcome(row[5]); err != nil {
+		return Record{}, err
+	}
+	rec.Outcome = row[5]
+	retries, err := strconv.Atoi(row[6])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad retries %q: %v", row[6], err)
+	}
+	rec.Retries = retries
+	return rec, nil
 }
 
 // Replay converts trace records into the arrival stream consumed by
@@ -187,12 +238,18 @@ type Summary struct {
 	Fairness          float64
 	// PerTarget maps computer index to its job count.
 	PerTarget map[int]int64
+	// Unfinished counts records whose outcome is not a completion (kills,
+	// sheds, drops, losses); they are excluded from the response-time
+	// statistics, which have no meaning for jobs that never finished.
+	Unfinished int64
 }
 
-// Summarize streams records from r and computes the summary.
+// Summarize streams records from r and computes the summary over the
+// completed (possibly late) jobs.
 func Summarize(r *Reader) (*Summary, error) {
 	var rt, rr stats.Accumulator
 	perTarget := map[int]int64{}
+	var unfinished int64
 	for {
 		rec, err := r.Next()
 		if errors.Is(err, io.EOF) {
@@ -200,6 +257,10 @@ func Summarize(r *Reader) (*Summary, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if o, perr := cluster.ParseOutcome(rec.Outcome); perr == nil && !o.Completed() {
+			unfinished++
+			continue
 		}
 		rt.Add(rec.ResponseTime())
 		rr.Add(rec.ResponseRatio())
@@ -211,5 +272,6 @@ func Summarize(r *Reader) (*Summary, error) {
 		MeanResponseRatio: rr.Mean(),
 		Fairness:          rr.PopStdDev(),
 		PerTarget:         perTarget,
+		Unfinished:        unfinished,
 	}, nil
 }

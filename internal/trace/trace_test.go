@@ -17,8 +17,9 @@ func TestRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	recs := []Record{
-		{ID: 1, Target: 0, Arrival: 0.5, Size: 2, Completion: 3.5},
-		{ID: 2, Target: 3, Arrival: 1.25, Size: 0.125, Completion: 10},
+		{ID: 1, Target: 0, Arrival: 0.5, Size: 2, Completion: 3.5, Outcome: "completed"},
+		{ID: 2, Target: 3, Arrival: 1.25, Size: 0.125, Completion: 10, Outcome: "late", Retries: 2},
+		{ID: 3, Target: 1, Arrival: 2, Size: 4, Outcome: "deadline-killed", Retries: 1},
 	}
 	for _, r := range recs {
 		if err := w.Append(r); err != nil {
@@ -64,13 +65,42 @@ func TestWriterFromJob(t *testing.T) {
 
 func TestReaderWithoutHeader(t *testing.T) {
 	// Headerless data (e.g. concatenated shards) still parses.
-	in := "5,1,0,2,4\n"
+	in := "5,1,0,2,4,completed,0\n"
 	got, err := NewReader(strings.NewReader(in)).ReadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].ID != 5 {
 		t.Errorf("records = %+v", got)
+	}
+}
+
+func TestReaderLegacyFormat(t *testing.T) {
+	// A trace written before the outcome/retries columns — five-column
+	// header and rows — reads back as completed jobs with zero retries.
+	in := "id,target,arrival,size,completion\n" +
+		"1,0,0.5,2,3.5\n" +
+		"2,1,1,4,9\n"
+	got, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	for i, rec := range got {
+		if rec.Outcome != "completed" || rec.Retries != 0 {
+			t.Errorf("record %d = %+v, want completed outcome and zero retries", i, rec)
+		}
+	}
+	// Legacy and current rows may even be mixed (concatenated shards).
+	mixed := "1,0,0.5,2,3.5\n2,1,1,4,0,shed,3\n"
+	got, err = NewReader(strings.NewReader(mixed)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Outcome != "completed" || got[1].Outcome != "shed" || got[1].Retries != 3 {
+		t.Errorf("mixed records = %+v", got)
 	}
 }
 
@@ -81,6 +111,9 @@ func TestReaderBadRows(t *testing.T) {
 		"1,1,x,2,4\n",
 		"1,1,0,x,4\n",
 		"1,1,0,2,x\n",
+		"1,1,0,2,4,bogus-outcome,0\n",
+		"1,1,0,2,4,completed,x\n",
+		"1,1,0,2,4,completed\n", // six columns: neither legacy nor current
 	}
 	for _, in := range cases {
 		if _, err := NewReader(strings.NewReader(in)).Next(); err == nil {
@@ -160,6 +193,60 @@ func TestTraceMatchesClusterMetrics(t *testing.T) {
 	}
 	if math.Abs(s.Fairness-res.Fairness) > 1e-9 {
 		t.Errorf("trace fairness %v vs run %v", s.Fairness, res.Fairness)
+	}
+}
+
+// End to end through the terminal-outcome hook: every generated job —
+// completed or shed — lands in the trace exactly once, with its outcome.
+func TestOnFinalTraceCoversAllFates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cfg := cluster.Config{
+		Speeds:              []float64{1, 1},
+		Utilization:         1.5, // overloaded: bounded queues must shed
+		JobSize:             dist.NewExponential(1.0),
+		ExponentialArrivals: true,
+		Duration:            5000,
+		WarmupFraction:      -1,
+		Seed:                9,
+		Overload:            &cluster.OverloadConfig{QueueCap: 3},
+		OnFinal: func(j *sim.Job, o cluster.Outcome) {
+			if err := w.RecordFinal(j, o); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	res, err := cluster.Run(cfg, &alternator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(records)) != res.GeneratedJobs {
+		t.Errorf("trace has %d records, run generated %d jobs", len(records), res.GeneratedJobs)
+	}
+	seen := map[int64]bool{}
+	byOutcome := map[string]int64{}
+	for _, rec := range records {
+		if seen[rec.ID] {
+			t.Fatalf("job %d recorded twice", rec.ID)
+		}
+		seen[rec.ID] = true
+		byOutcome[rec.Outcome]++
+	}
+	if byOutcome["completed"] == 0 || byOutcome["shed"] == 0 {
+		t.Errorf("outcome mix %v, want both completions and sheds", byOutcome)
+	}
+	if byOutcome["completed"] != res.Jobs {
+		t.Errorf("trace has %d completions, run counted %d", byOutcome["completed"], res.Jobs)
+	}
+	if byOutcome["shed"] != res.Overload.ShedOverflow {
+		t.Errorf("trace has %d sheds, run counted %d", byOutcome["shed"], res.Overload.ShedOverflow)
 	}
 }
 
