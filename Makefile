@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test check stress vet fmt clean probe-smoke
+# Committed benchmark baseline for the regression gate (see cmd/benchreg).
+# Re-record with `make bench-baseline` after an intentional perf change and
+# commit the new file (renamed to the recording date).
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+# Tolerated relative ns/op regression on hot-path benchmarks. allocs/op is
+# always exact. CI overrides this with generous headroom because its
+# hardware differs from the baseline machine; locally 10% is realistic.
+BENCH_THRESHOLD ?= 0.10
+
+.PHONY: all build test check stress vet fmt clean probe-smoke benchcheck bench-baseline
 
 all: build
 
@@ -36,6 +45,17 @@ probe-smoke:
 		-trace probe-out/trace.csv > probe-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest probe-out/manifest.json \
 		-events probe-out/events.jsonl -require-terminal
+
+# benchcheck is the benchmark-regression gate: re-measure the hot-path
+# suite and compare against the committed baseline. Fails on >threshold
+# ns/op or any allocs/op regression on hot-path benchmarks.
+benchcheck:
+	$(GO) run ./cmd/benchreg check -baseline $(BENCH_BASELINE) \
+		-threshold $(BENCH_THRESHOLD) -save bench-current.json
+
+# bench-baseline re-records the committed baseline on this machine.
+bench-baseline:
+	$(GO) run ./cmd/benchreg baseline -out $(BENCH_BASELINE)
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -418,6 +418,20 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 
 	warmup := cfg.Duration * cfg.WarmupFraction
 
+	// The run's job allocator: every Job comes from the arena and is
+	// recycled at its terminal event (completion, shed, drop, loss), so
+	// the steady-state arrival/departure cycle performs no heap
+	// allocation. releaseJob is the single recycling gate; the timer check
+	// is a belt-and-braces guard — every terminal path cancels the job's
+	// timers first, and a job with a live timer must not be recycled.
+	arena := sim.NewJobArena()
+	releaseJob := func(j *sim.Job) {
+		if j.TimeoutEvent.Active() || j.DeadlineEvent.Active() {
+			return // a pending timer still references the job
+		}
+		arena.Put(j)
+	}
+
 	// Overload protection. Like faults, everything is gated on an enabled
 	// config so that unprotected runs stay bit-identical: no extra stream
 	// derivation, no extra events, no changed dispatch path.
@@ -428,6 +442,8 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		ov.arena = arena
+		ov.release = releaseJob
 		if cfg.Overload.Deadline != nil {
 			ov.deadlines = root.Derive("overload.deadline")
 		}
@@ -493,6 +509,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			if !ov.preDepart(j) {
 				// A condemned job's completion: the deadline kill already
 				// counted it out of the system and the statistics.
+				releaseJob(j)
 				return
 			}
 		} else {
@@ -517,6 +534,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				cfg.OnDeparture(j)
 			}
 		}
+		releaseJob(j)
 	}
 
 	// overloadServer is what the overload layer needs from a server:
@@ -670,6 +688,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 					ov.jobLost(j)
 				}
 				finalize(j, OutcomeLostFailure)
+				releaseJob(j)
 			},
 		}
 		if pb != nil {
@@ -751,22 +770,25 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
-	// admit dispatches one job of the given size at the current time.
+	// admit dispatches one job of the given size at the current time. Jobs
+	// come from the arena: a recycled Job is field-identical to a freshly
+	// allocated one (Put zeroes every exported field), so reuse cannot
+	// change simulation results.
 	admit := func(size float64) {
 		now := en.Now()
 		generated++
-		j := &sim.Job{
-			ID:      generated,
-			Size:    size,
-			Arrival: now,
-			Target:  -1,
-		}
+		j := arena.Get()
+		j.ID = generated
+		j.Size = size
+		j.Arrival = now
+		j.Target = -1
 		if pb != nil {
 			pb.Emit(probe.Event{T: now, Kind: probe.EvArrival, Job: j.ID, Target: -1})
 		}
 		if ov != nil {
 			if !ov.admitJob(j) {
 				finalize(j, OutcomeRejectedAdmission)
+				releaseJob(j)
 				return
 			}
 			inSystem++
@@ -814,35 +836,37 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 
 	if len(cfg.Replay) > 0 {
 		// Trace-driven arrivals: schedule each recorded job at its
-		// recorded time, one event ahead to keep the heap small.
-		var scheduleIdx func(i int)
-		scheduleIdx = func(i int) {
-			if i >= len(cfg.Replay) || cfg.Replay[i].Arrival > cfg.Duration {
-				return
+		// recorded time, one event ahead to keep the heap small. A single
+		// closure walks the trace so the chain allocates nothing per job.
+		idx := 0
+		var fire func()
+		fire = func() {
+			r := cfg.Replay[idx]
+			idx++
+			admit(r.Size)
+			if idx < len(cfg.Replay) && cfg.Replay[idx].Arrival <= cfg.Duration {
+				en.Schedule(cfg.Replay[idx].Arrival, fire)
 			}
-			r := cfg.Replay[i]
-			en.Schedule(r.Arrival, func() {
-				admit(r.Size)
-				scheduleIdx(i + 1)
-			})
 		}
-		scheduleIdx(0)
+		if cfg.Replay[0].Arrival <= cfg.Duration {
+			en.Schedule(cfg.Replay[0].Arrival, fire)
+		}
 	} else {
 		// Synthetic arrivals: the arrival process (default: a renewal
 		// process with the configured inter-arrival distribution) with
-		// sampled sizes.
-		var nextArrival func()
-		nextArrival = func() {
-			t := arrivals.Next(en.Now(), arrStream)
-			en.Schedule(t, func() {
-				if en.Now() > cfg.Duration {
-					return // admission closes at the horizon
-				}
-				admit(cfg.JobSize.Sample(sizeStream))
-				nextArrival()
-			})
+		// sampled sizes. One closure reschedules itself, so the
+		// steady-state arrival chain allocates nothing: together with the
+		// arena and the engine's slab storage this keeps the whole
+		// unprotected hot path allocation-free.
+		var onArrival func()
+		onArrival = func() {
+			if en.Now() > cfg.Duration {
+				return // admission closes at the horizon
+			}
+			admit(cfg.JobSize.Sample(sizeStream))
+			en.Schedule(arrivals.Next(en.Now(), arrStream), onArrival)
 		}
-		nextArrival()
+		en.Schedule(arrivals.Next(en.Now(), arrStream), onArrival)
 	}
 
 	// Cadence sampling: read queue lengths, utilization deltas and the
@@ -1068,8 +1092,18 @@ func RunReplications(cfg Config, factory PolicyFactory, reps int) (*ReplicatedRe
 	return Aggregate(results)
 }
 
+// MaxParallel, when positive, caps the number of replications executing
+// concurrently in RunReplications and RunUntilPrecision; zero (the
+// default) means GOMAXPROCS. Each replication is fully deterministic in
+// its seed, so results are independent of this setting — the golden
+// tests pin it to several values to prove exactly that.
+var MaxParallel int
+
 // maxParallel bounds replication parallelism.
 func maxParallel() int {
+	if MaxParallel > 0 {
+		return MaxParallel
+	}
 	p := runtime.GOMAXPROCS(0)
 	if p < 1 {
 		p = 1

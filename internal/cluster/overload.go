@@ -303,6 +303,13 @@ type overloadRun struct {
 	mask  func() string
 	final func(j *sim.Job, o Outcome)
 
+	// arena is the run's job allocator; release recycles a terminally
+	// disposed job into it (both wired by Run). The arena's generation
+	// check is what makes the JobRef-guarded timers below safe: a timer
+	// outliving its job loads a dead handle instead of a recycled Job.
+	arena   *sim.JobArena
+	release func(*sim.Job)
+
 	tb       *dispatch.TokenBucket
 	brk      []*dispatch.Breaker
 	faultsUp []bool // availability mask from the fault injector; nil = all up
@@ -352,8 +359,12 @@ func (ov *overloadRun) admitJob(j *sim.Job) bool {
 		}
 		j.Deadline = j.Arrival + rel
 		if ov.cfg.DeadlineAction == DeadlineKill {
-			jj := j
-			j.DeadlineEvent = ov.en.Schedule(j.Deadline, func() { ov.deadlineExpire(jj) })
+			ref := ov.arena.Ref(j)
+			j.DeadlineEvent = ov.en.Schedule(j.Deadline, func() {
+				if jj, ok := ref.Load(); ok {
+					ov.deadlineExpire(jj)
+				}
+			})
 		}
 	}
 	return true
@@ -426,8 +437,12 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 		return
 	}
 	if ov.cfg.Timeout > 0 {
-		jj := j
-		j.TimeoutEvent = ov.en.ScheduleAfter(ov.cfg.Timeout, func() { ov.timeout(jj) })
+		ref := ov.arena.Ref(j)
+		j.TimeoutEvent = ov.en.ScheduleAfter(ov.cfg.Timeout, func() {
+			if jj, ok := ref.Load(); ok {
+				ov.timeout(jj)
+			}
+		})
 	}
 	ov.arrive(target, j)
 }
@@ -436,7 +451,7 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 // and retry. A job the server no longer holds (it is held at a failed
 // computer) is left to the fault machinery.
 func (ov *overloadRun) timeout(j *sim.Job) {
-	j.TimeoutEvent = nil
+	j.TimeoutEvent = sim.Event{}
 	if !ov.removers[j.Target].Remove(j) {
 		return
 	}
@@ -457,9 +472,9 @@ func (ov *overloadRun) timeout(j *sim.Job) {
 // retryOrDrop re-dispatches a rejected or timed-out job after backoff,
 // or drops it once the retry budget is spent.
 func (ov *overloadRun) retryOrDrop(j *sim.Job) {
-	if j.TimeoutEvent != nil {
+	if j.TimeoutEvent.Active() {
 		j.TimeoutEvent.Cancel()
-		j.TimeoutEvent = nil
+		j.TimeoutEvent = sim.Event{}
 	}
 	if j.Killed {
 		return // already accounted as a deadline kill
@@ -467,12 +482,16 @@ func (ov *overloadRun) retryOrDrop(j *sim.Job) {
 	if j.Attempts < ov.cfg.RetryBudget {
 		j.Attempts++
 		ov.stats.Retries++
-		jj := j
-		d := ov.backoffDelay(jj)
+		d := ov.backoffDelay(j)
 		if ov.pb != nil {
 			ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvRetry, Job: j.ID, Target: j.Target, Cause: "backoff", Attempt: j.Attempts, Value: d})
 		}
-		ov.en.ScheduleAfter(d, func() { ov.dispatch(jj, false) })
+		ref := ov.arena.Ref(j)
+		ov.en.ScheduleAfter(d, func() {
+			if jj, ok := ref.Load(); ok {
+				ov.dispatch(jj, false)
+			}
+		})
 		return
 	}
 	ov.stats.DroppedRetryBudget++
@@ -480,6 +499,7 @@ func (ov *overloadRun) retryOrDrop(j *sim.Job) {
 		ov.final(j, OutcomeDroppedRetryBudget)
 	}
 	ov.drop(j)
+	ov.freeJob(j)
 }
 
 // backoffDelay returns attempt j.Attempts' backoff with deterministic
@@ -499,13 +519,13 @@ func (ov *overloadRun) backoffDelay(j *sim.Job) float64 {
 
 // deadlineExpire kills a job at its deadline, wherever it is.
 func (ov *overloadRun) deadlineExpire(j *sim.Job) {
-	j.DeadlineEvent = nil
+	j.DeadlineEvent = sim.Event{}
 	j.Killed = true
 	ov.stats.DeadlineMisses++
 	ov.stats.KilledByDeadline++
-	if j.TimeoutEvent != nil {
+	if j.TimeoutEvent.Active() {
 		j.TimeoutEvent.Cancel()
-		j.TimeoutEvent = nil
+		j.TimeoutEvent = sim.Event{}
 	}
 	removed := ov.removers[j.Target].Remove(j)
 	if removed && !j.Probe {
@@ -526,15 +546,23 @@ func (ov *overloadRun) deadlineExpire(j *sim.Job) {
 	if ov.onDrop != nil {
 		ov.onDrop(j)
 	}
+	if removed {
+		// Fully out of the system: no server holds it, no timer is armed
+		// and no retry is pending (a job at a server is never in backoff),
+		// so the Job can be recycled. When Remove failed the job is still
+		// held somewhere (a failed computer, a backoff delay) and will be
+		// recycled — or intentionally leaked — by whichever path ends it.
+		ov.freeJob(j)
+	}
 }
 
 // shed disposes of a bounded-queue overflow victim at computer i.
 // Overflow drops are terminal (no retry): the computer itself refused
 // the job after the dispatcher committed it.
 func (ov *overloadRun) shed(i int, j *sim.Job) {
-	if j.TimeoutEvent != nil {
+	if j.TimeoutEvent.Active() {
 		j.TimeoutEvent.Cancel()
-		j.TimeoutEvent = nil
+		j.TimeoutEvent = sim.Event{}
 	}
 	if j.Killed {
 		// A condemned job resurfacing (resumed after a repair into a
@@ -544,6 +572,7 @@ func (ov *overloadRun) shed(i int, j *sim.Job) {
 		} else {
 			ov.policy.Departed(j)
 		}
+		ov.freeJob(j)
 		return
 	}
 	ov.stats.ShedOverflow++
@@ -558,14 +587,22 @@ func (ov *overloadRun) shed(i int, j *sim.Job) {
 		ov.final(j, OutcomeShedOverflow)
 	}
 	ov.drop(j)
+	ov.freeJob(j)
+}
+
+// freeJob recycles a terminally disposed job through the run's arena.
+func (ov *overloadRun) freeJob(j *sim.Job) {
+	if ov.release != nil {
+		ov.release(j)
+	}
 }
 
 // drop finishes a terminal drop: cancel the deadline timer and report
 // the job leaving the system.
 func (ov *overloadRun) drop(j *sim.Job) {
-	if j.DeadlineEvent != nil {
+	if j.DeadlineEvent.Active() {
 		j.DeadlineEvent.Cancel()
-		j.DeadlineEvent = nil
+		j.DeadlineEvent = sim.Event{}
 	}
 	if ov.onDrop != nil {
 		ov.onDrop(j)
@@ -575,13 +612,13 @@ func (ov *overloadRun) drop(j *sim.Job) {
 // jobLost is called when the fault machinery discards a job, so pending
 // overload timers do not fire on it.
 func (ov *overloadRun) jobLost(j *sim.Job) {
-	if j.TimeoutEvent != nil {
+	if j.TimeoutEvent.Active() {
 		j.TimeoutEvent.Cancel()
-		j.TimeoutEvent = nil
+		j.TimeoutEvent = sim.Event{}
 	}
-	if j.DeadlineEvent != nil {
+	if j.DeadlineEvent.Active() {
 		j.DeadlineEvent.Cancel()
-		j.DeadlineEvent = nil
+		j.DeadlineEvent = sim.Event{}
 	}
 	if j.Probe {
 		ov.probeFailed(j)
@@ -592,13 +629,13 @@ func (ov *overloadRun) jobLost(j *sim.Job) {
 // the completion must not enter the run statistics (a condemned job that
 // was unreachable at expiry).
 func (ov *overloadRun) preDepart(j *sim.Job) bool {
-	if j.TimeoutEvent != nil {
+	if j.TimeoutEvent.Active() {
 		j.TimeoutEvent.Cancel()
-		j.TimeoutEvent = nil
+		j.TimeoutEvent = sim.Event{}
 	}
-	if j.DeadlineEvent != nil {
+	if j.DeadlineEvent.Active() {
 		j.DeadlineEvent.Cancel()
-		j.DeadlineEvent = nil
+		j.DeadlineEvent = sim.Event{}
 	}
 	if j.Killed {
 		if !j.Probe {

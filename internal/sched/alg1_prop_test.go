@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"heterosched/internal/alloc"
+	"heterosched/internal/queueing"
+	"heterosched/internal/rng"
+)
+
+// Property-based suite for Algorithm 1 (alloc.Optimized), the allocator
+// behind every O* policy in this package. Random systems are drawn from a
+// fixed-seed stream; each draw is checked against the analytic invariants
+// of Theorems 1–3 and against an independent numeric minimizer.
+
+// randomSystem draws n ∈ [1,10] speeds spanning three orders of magnitude
+// and a utilization safely inside (0, 1).
+func randomSystem(st *rng.Stream) ([]float64, float64) {
+	n := 1 + st.Intn(10)
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = math.Pow(10, st.Uniform(-1, 2))
+	}
+	// Occasionally force ties so tie-handling is exercised.
+	if n > 1 && st.Float64() < 0.3 {
+		speeds[st.Intn(n)] = speeds[st.Intn(n)]
+	}
+	return speeds, st.Uniform(0.05, 0.95)
+}
+
+const alg1Trials = 300
+
+// TestAlg1FractionsFormDistribution: Σα = 1 and every α_i ≥ 0.
+func TestAlg1FractionsFormDistribution(t *testing.T) {
+	st := rng.New(71)
+	for trial := 0; trial < alg1Trials; trial++ {
+		speeds, rho := randomSystem(st)
+		alpha, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatalf("trial %d speeds %v rho %v: %v", trial, speeds, rho, err)
+		}
+		sum := 0.0
+		for i, a := range alpha {
+			if a < 0 || math.IsNaN(a) {
+				t.Fatalf("trial %d: alpha[%d] = %v", trial, i, a)
+			}
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("trial %d speeds %v rho %v: Σα = %v", trial, speeds, rho, sum)
+		}
+	}
+}
+
+// TestAlg1Stability: α_i λ < s_i μ strictly — no computer is driven at or
+// beyond its capacity (0 ≤ α_i < s_i μ/λ).
+func TestAlg1Stability(t *testing.T) {
+	st := rng.New(72)
+	for trial := 0; trial < alg1Trials; trial++ {
+		speeds, rho := randomSystem(st)
+		alpha, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scale-free normalization μ = 1, λ = ρ Σs (as Allocate documents).
+		lambda := 0.0
+		for _, s := range speeds {
+			lambda += s
+		}
+		lambda *= rho
+		for i, a := range alpha {
+			if a*lambda >= speeds[i] {
+				t.Fatalf("trial %d speeds %v rho %v: computer %d saturated (α=%v)",
+					trial, speeds, rho, i, a)
+			}
+		}
+	}
+}
+
+// TestAlg1ActiveSetIsSpeedPrefix: the excluded set is a prefix of the
+// speed-sorted order (Theorem 3) — a computer receives work only if every
+// strictly faster computer does, and equal speeds share the same fate.
+func TestAlg1ActiveSetIsSpeedPrefix(t *testing.T) {
+	st := rng.New(73)
+	sawExclusion := false
+	for trial := 0; trial < alg1Trials; trial++ {
+		speeds, rho := randomSystem(st)
+		alpha, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range alpha {
+			for j := range alpha {
+				if alpha[j] == 0 && alpha[i] > 0 && speeds[i] <= speeds[j] {
+					t.Fatalf("trial %d speeds %v rho %v: computer %d (speed %v) excluded but slower-or-equal %d (speed %v) active",
+						trial, speeds, rho, j, speeds[j], i, speeds[i])
+				}
+				if alpha[j] == 0 {
+					sawExclusion = true
+				}
+			}
+		}
+	}
+	if !sawExclusion {
+		t.Error("no trial excluded a computer — the property was never exercised")
+	}
+}
+
+// kktBisection independently minimizes T̄ by bisecting the KKT multiplier:
+// stationarity of the Lagrangian gives α_i(ν) = max(0, (s_i μ − √(s_i μ λ/ν))/λ),
+// monotone increasing in ν, so the unique ν with Σα(ν) = 1 is found by
+// bisection. It shares no code or algebra with alloc.Optimized's
+// prefix-search closed form.
+func kktBisection(speeds []float64, rho float64) []float64 {
+	mu := 1.0
+	lambda := 0.0
+	for _, s := range speeds {
+		lambda += s
+	}
+	lambda *= rho * mu
+	alphaAt := func(nu float64) ([]float64, float64) {
+		a := make([]float64, len(speeds))
+		sum := 0.0
+		for i, s := range speeds {
+			v := (s*mu - math.Sqrt(s*mu*lambda/nu)) / lambda
+			if v < 0 {
+				v = 0
+			}
+			a[i] = v
+			sum += v
+		}
+		return a, sum
+	}
+	lo, hi := 1e-30, 1.0
+	for { // grow hi until Σα(hi) ≥ 1
+		if _, sum := alphaAt(hi); sum >= 1 {
+			break
+		}
+		hi *= 2
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if _, sum := alphaAt(mid); sum < 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, sum := alphaAt(hi)
+	for i := range a {
+		a[i] /= sum
+	}
+	return a
+}
+
+// TestAlg1MatchesIndependentMinimizers cross-validates the closed form
+// against (a) the KKT bisection above, to 1e-9, and (b) the
+// projected-gradient solver alloc.NumericOptimized, to its looser
+// convergence tolerance. Both must also never beat the closed form, which
+// Theorem 1 proves is the exact optimum.
+func TestAlg1MatchesIndependentMinimizers(t *testing.T) {
+	st := rng.New(74)
+	trials := alg1Trials
+	gradEvery := 10 // gradient descent is slow; spot-check a subsample
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		speeds, rho := randomSystem(st)
+		closed, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := 0.0
+		for _, s := range speeds {
+			lambda += s
+		}
+		lambda *= rho
+		sys, err := queueing.NewSystem(speeds, 1.0, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tClosed, err := sys.MeanResponseTime(closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		kkt := kktBisection(speeds, rho)
+		tKKT, err := sys.MeanResponseTime(kkt)
+		if err != nil {
+			t.Fatalf("trial %d: KKT allocation infeasible: %v", trial, err)
+		}
+		if tKKT < tClosed-1e-9*tClosed {
+			t.Errorf("trial %d speeds %v rho %v: KKT T̄=%.12g beats closed form %.12g",
+				trial, speeds, rho, tKKT, tClosed)
+		}
+		if math.Abs(tKKT-tClosed) > 1e-9*tClosed {
+			t.Errorf("trial %d speeds %v rho %v: |T̄_kkt − T̄_closed| = %g, want ≤ 1e-9 relative",
+				trial, speeds, rho, math.Abs(tKKT-tClosed))
+		}
+		for i := range closed {
+			if math.Abs(kkt[i]-closed[i]) > 1e-9 {
+				t.Errorf("trial %d speeds %v rho %v: α[%d] closed %.12g vs KKT %.12g",
+					trial, speeds, rho, i, closed[i], kkt[i])
+			}
+		}
+
+		if trial%gradEvery == 0 {
+			num, err := alloc.NumericOptimized{Tol: 1e-10}.Allocate(speeds, rho)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tNum, err := sys.MeanResponseTime(num)
+			if err != nil {
+				t.Fatalf("trial %d: gradient allocation infeasible: %v", trial, err)
+			}
+			if tNum < tClosed-1e-9*tClosed {
+				t.Errorf("trial %d speeds %v rho %v: gradient T̄=%.12g beats closed form %.12g",
+					trial, speeds, rho, tNum, tClosed)
+			}
+			if tNum > tClosed+1e-4*tClosed {
+				t.Errorf("trial %d speeds %v rho %v: gradient T̄=%.12g far above closed form %.12g",
+					trial, speeds, rho, tNum, tClosed)
+			}
+		}
+	}
+}
+
+// TestAlg1PermutationMetamorphic: permuting the speed vector permutes the
+// allocation identically — computer identity carries no information beyond
+// speed. Algorithm 1 sorts internally, but Σs is accumulated in input
+// order, so β can differ in the last ulp between orderings; the check
+// allows that rounding and nothing more.
+func TestAlg1PermutationMetamorphic(t *testing.T) {
+	st := rng.New(75)
+	for trial := 0; trial < alg1Trials; trial++ {
+		speeds, rho := randomSystem(st)
+		n := len(speeds)
+		perm := make([]int, n) // Fisher–Yates from the fixed stream
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := st.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		shuffled := make([]float64, n)
+		for i, p := range perm {
+			shuffled[i] = speeds[p]
+		}
+
+		base, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := alloc.Optimized{}.Allocate(shuffled, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range perm {
+			if math.Abs(got[i]-base[p]) > 1e-13 {
+				t.Fatalf("trial %d speeds %v rho %v perm %v: α[%d] = %v, want α_base[%d] = %v",
+					trial, speeds, rho, perm, i, got[i], p, base[p])
+			}
+		}
+	}
+}
+
+// TestAlg1ScaleInvarianceMetamorphic: multiplying every speed by the same
+// constant leaves the optimal fractions unchanged (the objective rescales
+// uniformly). Floating-point arithmetic differs along the two paths, so
+// the comparison is to 1e-12.
+func TestAlg1ScaleInvarianceMetamorphic(t *testing.T) {
+	st := rng.New(76)
+	for trial := 0; trial < alg1Trials; trial++ {
+		speeds, rho := randomSystem(st)
+		c := math.Pow(10, st.Uniform(-2, 2))
+		scaled := make([]float64, len(speeds))
+		for i, s := range speeds {
+			scaled[i] = c * s
+		}
+		base, err := alloc.Optimized{}.Allocate(speeds, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := alloc.Optimized{}.Allocate(scaled, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if math.Abs(got[i]-base[i]) > 1e-12 {
+				t.Fatalf("trial %d speeds %v rho %v scale %v: α[%d] = %v, want %v",
+					trial, speeds, rho, c, i, got[i], base[i])
+			}
+		}
+	}
+}

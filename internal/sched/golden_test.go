@@ -133,3 +133,49 @@ func TestGoldenFaultResolve(t *testing.T) {
 		t.Error("StaleFallbacks = 0, want > 0 (speed-10 outages saturate the survivors)")
 	}
 }
+
+// TestGoldenCrossParallelism runs the same replicated experiment with the
+// replication scheduler pinned to several parallelism levels and requires
+// bit-identical aggregates. Each replication derives all randomness from
+// its own seed, so the interleaving of replications across goroutines must
+// not matter; a drift here means shared mutable state leaked between
+// concurrent runs.
+func TestGoldenCrossParallelism(t *testing.T) {
+	cfg := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    2e4,
+		Seed:        11,
+	}
+	run := func(parallel int) *cluster.ReplicatedResult {
+		t.Helper()
+		old := cluster.MaxParallel
+		cluster.MaxParallel = parallel
+		defer func() { cluster.MaxParallel = old }()
+		res, err := cluster.RunReplications(cfg, func() cluster.Policy { return ORR() }, 6)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return res
+	}
+
+	serial := run(1)
+	for _, parallel := range []int{4, 0} { // 0 = GOMAXPROCS
+		got := run(parallel)
+		if got.MeanResponseTime != serial.MeanResponseTime ||
+			got.MeanResponseRatio != serial.MeanResponseRatio ||
+			got.Fairness != serial.Fairness {
+			t.Errorf("parallel=%d aggregates differ from serial:\n got  %+v\n want %+v",
+				parallel, got.MeanResponseTime, serial.MeanResponseTime)
+		}
+		for r := range serial.Runs {
+			if got.Runs[r].MeanResponseTime != serial.Runs[r].MeanResponseTime ||
+				got.Runs[r].Jobs != serial.Runs[r].Jobs {
+				t.Errorf("parallel=%d rep %d: time=%.17g jobs=%d, serial time=%.17g jobs=%d",
+					parallel, r,
+					got.Runs[r].MeanResponseTime, got.Runs[r].Jobs,
+					serial.Runs[r].MeanResponseTime, serial.Runs[r].Jobs)
+			}
+		}
+	}
+}

@@ -9,6 +9,15 @@
 // using virtual-time bookkeeping; RRServer implements quantum-based
 // round-robin for quantum-sensitivity ablations; FCFSServer is provided as
 // a contrast discipline.
+//
+// The engine stores its pending events in a slab: a flat []eventSlot
+// indexed by a 4-ary min-heap of slot indices, with freed slots kept on a
+// free list for reuse. Steady-state Schedule/Cancel/Reschedule therefore
+// perform no heap allocations (see TestScheduleCancelZeroAlloc), and event
+// handles are small values carrying a generation number that detects
+// use-after-free: acting on a handle whose slot has been recycled is
+// either a safe no-op (Cancel) or a generation-mismatch panic
+// (Reschedule).
 package sim
 
 import (
@@ -16,26 +25,59 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// may be cancelled before they fire.
-type Event struct {
-	time      float64
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 when not queued
-	cancelled bool
+// eventSlot is one slab entry: the scheduled callback plus the heap
+// bookkeeping. Slots are recycled through the engine's free list; gen
+// increments at every release so stale Event handles are detectable.
+type eventSlot struct {
+	time float64
+	seq  uint64
+	fn   func()
+	pos  int32 // index in Engine.heap, -1 when free
+	gen  uint32
 }
 
-// Time returns the simulation time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
+// Event is a generation-checked handle to a scheduled callback. The zero
+// value is an inert handle: Cancel is a no-op and Active reports false.
+// Handles are small values — copy them freely. A handle goes stale when
+// its event fires or is cancelled; the engine recycles the slot and any
+// later use of the stale handle is detected by generation mismatch.
+type Event struct {
+	en   *Engine
+	slot int32 // slab index + 1; 0 marks the zero handle
+	gen  uint32
+	time float64
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. The event is removed lazily from the
-// queue.
-func (e *Event) Cancel() { e.cancelled = true }
+// Time returns the simulation time at which the event was scheduled to
+// fire. It remains readable after the event fires or is cancelled.
+func (e Event) Time() float64 { return e.time }
 
-// Cancelled reports whether the event was cancelled.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Active reports whether the event is still pending: scheduled, not yet
+// fired, not cancelled.
+func (e Event) Active() bool {
+	if e.slot == 0 {
+		return false
+	}
+	sl := &e.en.events[e.slot-1]
+	return sl.gen == e.gen && sl.pos >= 0
+}
+
+// Cancel removes the event from the queue so it never fires. Cancelling
+// the zero handle, an already-fired or an already-cancelled event is a
+// no-op (the generation check makes stale handles inert even after the
+// slot has been recycled by a newer event).
+func (e Event) Cancel() {
+	if e.slot == 0 {
+		return
+	}
+	en := e.en
+	sl := &en.events[e.slot-1]
+	if sl.gen != e.gen || sl.pos < 0 {
+		return // fired, cancelled, or slot recycled
+	}
+	en.heapRemove(sl.pos)
+	en.release(e.slot - 1)
+}
 
 // Engine is a sequential discrete-event engine: a clock plus a future
 // event list ordered by (time, schedule order). The zero value is ready to
@@ -44,7 +86,9 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 type Engine struct {
 	now    float64
 	seq    uint64
-	heap   []*Event
+	events []eventSlot // slab; heap and free hold indices into it
+	heap   []int32     // 4-ary min-heap on (time, seq)
+	free   []int32     // released slots available for reuse
 	fired  uint64
 	popped uint64
 }
@@ -55,43 +99,105 @@ func (en *Engine) Now() float64 { return en.now }
 // Fired returns the number of events executed so far.
 func (en *Engine) Fired() uint64 { return en.fired }
 
-// Pending returns the number of events in the queue, including lazily
-// cancelled ones.
+// Pending returns the number of events in the queue. Cancelled events are
+// removed eagerly and do not count.
 func (en *Engine) Pending() int { return len(en.heap) }
+
+// alloc returns a free slab slot, growing the slab when the free list is
+// empty. The returned index is NOT on the heap yet.
+func (en *Engine) alloc() int32 {
+	if n := len(en.free); n > 0 {
+		idx := en.free[n-1]
+		en.free = en.free[:n-1]
+		return idx
+	}
+	en.events = append(en.events, eventSlot{pos: -1})
+	return int32(len(en.events) - 1)
+}
+
+// release recycles slot idx: the generation bump invalidates outstanding
+// handles, and dropping fn releases the callback's closure to the GC.
+func (en *Engine) release(idx int32) {
+	sl := &en.events[idx]
+	sl.fn = nil
+	sl.pos = -1
+	sl.gen++
+	en.free = append(en.free, idx)
+}
 
 // Schedule registers fn to run at absolute time t, which must not precede
 // the current time. It returns the Event handle for cancellation.
-func (en *Engine) Schedule(t float64, fn func()) *Event {
+func (en *Engine) Schedule(t float64, fn func()) Event {
 	if t < en.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (t=%v, now=%v)", t, en.now))
 	}
 	if math.IsNaN(t) {
 		panic("sim: scheduling at NaN time")
 	}
-	ev := &Event{time: t, seq: en.seq, fn: fn, index: -1}
+	idx := en.alloc()
+	sl := &en.events[idx]
+	sl.time = t
+	sl.seq = en.seq
+	sl.fn = fn
 	en.seq++
-	en.push(ev)
-	return ev
+	en.heapPush(idx)
+	return Event{en: en, slot: idx + 1, gen: sl.gen, time: t}
 }
 
 // ScheduleAfter registers fn to run delay seconds from now.
-func (en *Engine) ScheduleAfter(delay float64, fn func()) *Event {
+func (en *Engine) ScheduleAfter(delay float64, fn func()) Event {
 	return en.Schedule(en.now+delay, fn)
+}
+
+// Reschedule moves a pending event to absolute time t, keeping its
+// callback. Like a Cancel followed by a Schedule it consumes one sequence
+// number, so FIFO tie-breaking among equal timestamps is identical to the
+// cancel-and-reschedule idiom it replaces — but without releasing and
+// re-acquiring the slot. It panics if the handle is stale (the event
+// already fired or was cancelled): rescheduling a dead event would
+// silently act on whatever reused its slot.
+func (en *Engine) Reschedule(e Event, t float64) Event {
+	if e.slot == 0 {
+		panic("sim: Reschedule of a zero event handle")
+	}
+	sl := &en.events[e.slot-1]
+	if sl.gen != e.gen || sl.pos < 0 {
+		panic(fmt.Sprintf("sim: Reschedule of a dead event handle (generation mismatch: handle gen %d, slot gen %d)", e.gen, sl.gen))
+	}
+	if t < en.now {
+		panic(fmt.Sprintf("sim: rescheduling into the past (t=%v, now=%v)", t, en.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: rescheduling at NaN time")
+	}
+	sl.time = t
+	sl.seq = en.seq
+	en.seq++
+	// The new (time, seq) may order either way relative to the old key;
+	// restore heap order from the event's current position.
+	en.down(sl.pos)
+	en.up(sl.pos)
+	e.time = t
+	return e
 }
 
 // Step fires the next event. It returns false if the queue is empty.
 func (en *Engine) Step() bool {
-	for len(en.heap) > 0 {
-		ev := en.pop()
-		if ev.cancelled {
-			continue
-		}
-		en.now = ev.time
-		en.fired++
-		ev.fn()
-		return true
+	if len(en.heap) == 0 {
+		return false
 	}
-	return false
+	idx := en.heap[0]
+	sl := &en.events[idx]
+	en.now = sl.time
+	fn := sl.fn
+	en.heapRemove(0)
+	// Release before the callback: the slot is reusable by anything fn
+	// schedules, and the handle held by fn's owner is already stale.
+	en.release(idx)
+	en.popped++
+	en.fired++
+	fn()
+	return true
 }
 
 // RunUntil fires events in order until the clock would pass the horizon or
@@ -100,12 +206,7 @@ func (en *Engine) Step() bool {
 // the clock parked exactly at the horizon can call AdvanceTo.
 func (en *Engine) RunUntil(horizon float64) {
 	for len(en.heap) > 0 {
-		ev := en.heap[0]
-		if ev.cancelled {
-			en.pop()
-			continue
-		}
-		if ev.time > horizon {
+		if en.events[en.heap[0]].time > horizon {
 			return
 		}
 		en.Step()
@@ -113,82 +214,92 @@ func (en *Engine) RunUntil(horizon float64) {
 }
 
 // AdvanceTo moves the clock forward to t without firing events. It panics
-// if an uncancelled event is pending before t, or if t is in the past.
+// if an event is pending before t, or if t is in the past.
 func (en *Engine) AdvanceTo(t float64) {
 	if t < en.now {
 		panic(fmt.Sprintf("sim: AdvanceTo into the past (t=%v, now=%v)", t, en.now))
 	}
-	for len(en.heap) > 0 && en.heap[0].cancelled {
-		en.pop()
-	}
-	if len(en.heap) > 0 && en.heap[0].time < t {
-		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, en.heap[0].time))
+	if len(en.heap) > 0 && en.events[en.heap[0]].time < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, en.events[en.heap[0]].time))
 	}
 	en.now = t
 }
 
-// less orders events by time, then schedule order (FIFO among ties).
-func (en *Engine) less(a, b *Event) bool {
-	if a.time != b.time {
-		return a.time < b.time
+// less orders slab slots by time, then schedule order (FIFO among ties).
+func (en *Engine) less(a, b int32) bool {
+	sa, sb := &en.events[a], &en.events[b]
+	if sa.time != sb.time {
+		return sa.time < sb.time
 	}
-	return a.seq < b.seq
+	return sa.seq < sb.seq
 }
 
-func (en *Engine) push(ev *Event) {
-	en.heap = append(en.heap, ev)
-	i := len(en.heap) - 1
-	ev.index = i
+// The pending-event set is a 4-ary implicit heap over slab indices. A
+// wider node costs more comparisons per level but halves the depth and
+// touches fewer cache lines than the classic binary heap — the standard
+// trade for DES future-event lists, where Schedule (sift-up) dominates
+// and most events fire near the front.
+
+func (en *Engine) heapPush(idx int32) {
+	i := int32(len(en.heap))
+	en.heap = append(en.heap, idx)
+	en.events[idx].pos = i
 	en.up(i)
 }
 
-func (en *Engine) pop() *Event {
+// heapRemove deletes the element at heap position i.
+func (en *Engine) heapRemove(i int32) {
 	h := en.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[0].index = 0
-	en.heap = h[:last]
-	if last > 0 {
-		en.down(0)
+	last := int32(len(h) - 1)
+	if i != last {
+		h[i] = h[last]
+		en.events[h[i]].pos = i
 	}
-	top.index = -1
-	en.popped++
-	return top
+	en.heap = h[:last]
+	if i < last {
+		en.down(i)
+		en.up(i)
+	}
 }
 
-func (en *Engine) up(i int) {
+func (en *Engine) up(i int32) {
 	h := en.heap
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !en.less(h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
-		h[i].index = i
-		h[parent].index = parent
+		en.events[h[i]].pos = i
+		en.events[h[parent]].pos = parent
 		i = parent
 	}
 }
 
-func (en *Engine) down(i int) {
+func (en *Engine) down(i int32) {
 	h := en.heap
-	n := len(h)
+	n := int32(len(h))
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		small := left
-		if right := left + 1; right < n && en.less(h[right], h[left]) {
-			small = right
+		small := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if en.less(h[c], h[small]) {
+				small = c
+			}
 		}
 		if !en.less(h[small], h[i]) {
 			break
 		}
 		h[i], h[small] = h[small], h[i]
-		h[i].index = i
-		h[small].index = small
+		en.events[h[i]].pos = i
+		en.events[h[small]].pos = small
 		i = small
 	}
 }

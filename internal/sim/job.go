@@ -49,14 +49,19 @@ type Job struct {
 	// failed computer must not be finalized twice.
 	Finalized bool
 	// TimeoutEvent and DeadlineEvent are the overload layer's pending
-	// timers for this job, cancelled when the job leaves the system.
-	TimeoutEvent, DeadlineEvent *Event
+	// timers for this job, cancelled when the job leaves the system. The
+	// zero value means no timer is armed.
+	TimeoutEvent, DeadlineEvent Event
 
 	// attained is the virtual-time target used internally by PS servers,
 	// or the remaining work for quantum/FCFS servers.
 	attained float64
-	// heapIdx is the job's index in its server's internal heap.
+	// heapIdx is the job's index in its server's internal heap; -1 when
+	// the job is not at a server.
 	heapIdx int
+	// gen is the arena recycling generation; JobRef handles compare it to
+	// detect use-after-Put. Jobs not managed by a JobArena keep gen 0.
+	gen uint32
 }
 
 // ResponseTime returns Completion − Arrival.

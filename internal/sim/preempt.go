@@ -30,9 +30,9 @@ func (s *PSServer) Evict() []*Job {
 		return nil
 	}
 	s.advance()
-	if s.nextEv != nil {
+	if s.nextEv.Active() {
 		s.nextEv.Cancel()
-		s.nextEv = nil
+		s.nextEv = Event{}
 	}
 	out := s.jobs
 	s.jobs = nil
@@ -68,9 +68,9 @@ func (s *RRServer) Evict() []*Job {
 	if len(s.queue) == 0 {
 		return nil
 	}
-	if s.sliceEv != nil {
+	if s.sliceEv.Active() {
 		s.sliceEv.Cancel()
-		s.sliceEv = nil
+		s.sliceEv = Event{}
 		head := s.queue[0]
 		head.attained -= (s.engine.Now() - s.sliceStart) * s.speed
 		if head.attained < 0 {
@@ -104,9 +104,9 @@ func (s *FCFSServer) Evict() []*Job {
 	if len(s.queue) == 0 {
 		return nil
 	}
-	if s.headEv != nil {
+	if s.headEv.Active() {
 		s.headEv.Cancel()
-		s.headEv = nil
+		s.headEv = Event{}
 		head := s.queue[0]
 		head.attained -= (s.engine.Now() - s.headStart) * s.speed
 		if head.attained < 0 {

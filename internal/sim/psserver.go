@@ -24,7 +24,10 @@ type PSServer struct {
 	jobs   []*Job // min-heap on attained (target virtual time)
 	vtime  float64
 	lastT  float64
-	nextEv *Event
+	nextEv Event
+	// departFn is the depart method value, bound once so the hot
+	// reschedule path does not allocate a fresh closure per event.
+	departFn func()
 
 	busyTime  float64
 	busySince float64
@@ -38,7 +41,9 @@ func NewPSServer(en *Engine, speed float64, onDepart func(*Job)) *PSServer {
 	if !(speed > 0) {
 		panic(fmt.Sprintf("sim: PS server speed must be positive, got %v", speed))
 	}
-	return &PSServer{engine: en, speed: speed, onDepart: onDepart}
+	s := &PSServer{engine: en, speed: speed, onDepart: onDepart}
+	s.departFn = s.depart
+	return s
 }
 
 // Speed returns the server's relative speed.
@@ -84,13 +89,14 @@ func (s *PSServer) Arrive(j *Job) {
 }
 
 // reschedule replaces the pending departure event with one for the current
-// minimum-target job.
+// minimum-target job. A pending event is moved in place (Reschedule) so
+// the steady-state arrival/departure cycle touches no allocator.
 func (s *PSServer) reschedule() {
-	if s.nextEv != nil {
-		s.nextEv.Cancel()
-		s.nextEv = nil
-	}
 	if len(s.jobs) == 0 {
+		if s.nextEv.Active() {
+			s.nextEv.Cancel()
+			s.nextEv = Event{}
+		}
 		return
 	}
 	head := s.jobs[0]
@@ -99,12 +105,16 @@ func (s *PSServer) reschedule() {
 		dv = 0 // rounding guard
 	}
 	dt := dv * float64(len(s.jobs)) / s.speed
-	s.nextEv = s.engine.ScheduleAfter(dt, s.depart)
+	if s.nextEv.Active() {
+		s.nextEv = s.engine.Reschedule(s.nextEv, s.engine.Now()+dt)
+	} else {
+		s.nextEv = s.engine.ScheduleAfter(dt, s.departFn)
+	}
 }
 
 // depart completes the minimum-target job.
 func (s *PSServer) depart() {
-	s.nextEv = nil
+	s.nextEv = Event{}
 	s.advance()
 	j := s.pop()
 	// Pin V exactly to the departing job's target so co-resident jobs see

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file preserves the pre-slab event engine — one heap-allocated Event
+// per Schedule, a binary heap of pointers, lazy cancellation — verbatim
+// under renamed types. It exists for two reasons:
+//
+//   - Equivalence: TestEngineMatchesReferenceEngine and FuzzEngineOps
+//     drive both engines with the same operation sequence and require
+//     bit-identical firing order and clocks, proving the slab/4-ary
+//     rewrite changed performance only.
+//   - Measurement: BenchmarkEngineSteadyStateRef is the pre-rewrite
+//     baseline that BenchmarkEngineSteadyState is compared against in the
+//     benchmark-regression harness (cmd/benchreg).
+//
+// Do not "fix" or modernize this code; its value is being exactly what
+// shipped before the rewrite.
+
+// refEvent is the old pointer-based event handle.
+type refEvent struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancel marks the event cancelled; it is removed lazily from the queue.
+func (e *refEvent) Cancel() { e.cancelled = true }
+
+// refEngine is the old engine: a binary heap of *refEvent with lazy
+// removal of cancelled events.
+type refEngine struct {
+	now    float64
+	seq    uint64
+	heap   []*refEvent
+	fired  uint64
+	popped uint64
+}
+
+func (en *refEngine) Now() float64  { return en.now }
+func (en *refEngine) Fired() uint64 { return en.fired }
+
+func (en *refEngine) Schedule(t float64, fn func()) *refEvent {
+	if t < en.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (t=%v, now=%v)", t, en.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling at NaN time")
+	}
+	ev := &refEvent{time: t, seq: en.seq, fn: fn, index: -1}
+	en.seq++
+	en.push(ev)
+	return ev
+}
+
+func (en *refEngine) ScheduleAfter(delay float64, fn func()) *refEvent {
+	return en.Schedule(en.now+delay, fn)
+}
+
+// Reschedule reproduces what callers of the old engine did by hand:
+// cancel the pending event and schedule a fresh one, consuming one
+// sequence number — the contract the new Engine.Reschedule preserves.
+func (en *refEngine) Reschedule(e *refEvent, t float64) *refEvent {
+	e.Cancel()
+	return en.Schedule(t, e.fn)
+}
+
+func (en *refEngine) Step() bool {
+	for len(en.heap) > 0 {
+		ev := en.pop()
+		if ev.cancelled {
+			continue
+		}
+		en.now = ev.time
+		en.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+func (en *refEngine) RunUntil(horizon float64) {
+	for len(en.heap) > 0 {
+		ev := en.heap[0]
+		if ev.cancelled {
+			en.pop()
+			continue
+		}
+		if ev.time > horizon {
+			return
+		}
+		en.Step()
+	}
+}
+
+func (en *refEngine) less(a, b *refEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (en *refEngine) push(ev *refEvent) {
+	en.heap = append(en.heap, ev)
+	i := len(en.heap) - 1
+	ev.index = i
+	en.up(i)
+}
+
+func (en *refEngine) pop() *refEvent {
+	h := en.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].index = 0
+	en.heap = h[:last]
+	if last > 0 {
+		en.down(0)
+	}
+	top.index = -1
+	en.popped++
+	return top
+}
+
+func (en *refEngine) up(i int) {
+	h := en.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !en.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].index = i
+		h[parent].index = parent
+		i = parent
+	}
+}
+
+// refPSServer is the old processor-sharing server exactly as it drove the
+// old engine: a *refEvent tentative departure replaced by cancel+schedule
+// on every arrival, with a fresh method-value closure per reschedule.
+type refPSServer struct {
+	engine   *refEngine
+	speed    float64
+	onDepart func(*Job)
+
+	jobs   []*Job // min-heap on attained (target virtual time)
+	vtime  float64
+	lastT  float64
+	nextEv *refEvent
+
+	departed int64
+}
+
+func newRefPSServer(en *refEngine, speed float64, onDepart func(*Job)) *refPSServer {
+	return &refPSServer{engine: en, speed: speed, onDepart: onDepart}
+}
+
+func (s *refPSServer) advance() {
+	now := s.engine.Now()
+	if n := len(s.jobs); n > 0 {
+		s.vtime += (now - s.lastT) * s.speed / float64(n)
+	}
+	s.lastT = now
+}
+
+func (s *refPSServer) Arrive(j *Job) {
+	s.advance()
+	if len(s.jobs) == 0 {
+		s.vtime = 0
+	}
+	j.attained = s.vtime + j.Size
+	s.push(j)
+	s.reschedule()
+}
+
+func (s *refPSServer) reschedule() {
+	if s.nextEv != nil {
+		s.nextEv.Cancel()
+		s.nextEv = nil
+	}
+	if len(s.jobs) == 0 {
+		return
+	}
+	head := s.jobs[0]
+	dv := head.attained - s.vtime
+	if dv < 0 {
+		dv = 0
+	}
+	dt := dv * float64(len(s.jobs)) / s.speed
+	s.nextEv = s.engine.ScheduleAfter(dt, s.depart)
+}
+
+func (s *refPSServer) depart() {
+	s.nextEv = nil
+	s.advance()
+	j := s.pop()
+	s.vtime = math.Max(s.vtime, j.attained)
+	j.Completion = s.engine.Now()
+	s.departed++
+	s.reschedule()
+	if s.onDepart != nil {
+		s.onDepart(j)
+	}
+}
+
+func (s *refPSServer) push(j *Job) {
+	s.jobs = append(s.jobs, j)
+	j.heapIdx = len(s.jobs) - 1
+	s.siftUp(j.heapIdx)
+}
+
+func (s *refPSServer) pop() *Job {
+	top := s.jobs[0]
+	last := len(s.jobs) - 1
+	s.jobs[0] = s.jobs[last]
+	s.jobs[0].heapIdx = 0
+	s.jobs = s.jobs[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+func (s *refPSServer) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.jobs[i].attained >= s.jobs[parent].attained {
+			break
+		}
+		s.jobs[i], s.jobs[parent] = s.jobs[parent], s.jobs[i]
+		s.jobs[i].heapIdx = i
+		s.jobs[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+func (s *refPSServer) siftDown(i int) {
+	n := len(s.jobs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if r := left + 1; r < n && s.jobs[r].attained < s.jobs[left].attained {
+			small = r
+		}
+		if s.jobs[small].attained >= s.jobs[i].attained {
+			break
+		}
+		s.jobs[i], s.jobs[small] = s.jobs[small], s.jobs[i]
+		s.jobs[i].heapIdx = i
+		s.jobs[small].heapIdx = small
+		i = small
+	}
+}
+
+func (en *refEngine) down(i int) {
+	h := en.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && en.less(h[right], h[left]) {
+			small = right
+		}
+		if !en.less(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].index = i
+		h[small].index = small
+		i = small
+	}
+}

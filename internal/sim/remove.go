@@ -55,9 +55,9 @@ func (s *RRServer) Remove(j *Job) bool {
 	if idx < 0 {
 		return false
 	}
-	if idx == 0 && s.sliceEv != nil {
+	if idx == 0 && s.sliceEv.Active() {
 		s.sliceEv.Cancel()
-		s.sliceEv = nil
+		s.sliceEv = Event{}
 		j.attained -= (s.engine.Now() - s.sliceStart) * s.speed
 		if j.attained < 0 {
 			j.attained = 0
@@ -67,7 +67,7 @@ func (s *RRServer) Remove(j *Job) bool {
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 	if len(s.queue) == 0 {
 		s.busyTime += s.engine.Now() - s.busySince
-	} else if idx == 0 && s.sliceEv == nil {
+	} else if idx == 0 && !s.sliceEv.Active() {
 		s.startSlice()
 	}
 	return true
@@ -86,9 +86,9 @@ func (s *FCFSServer) Remove(j *Job) bool {
 	if idx < 0 {
 		return false
 	}
-	if idx == 0 && s.headEv != nil {
+	if idx == 0 && s.headEv.Active() {
 		s.headEv.Cancel()
-		s.headEv = nil
+		s.headEv = Event{}
 		j.attained -= (s.engine.Now() - s.headStart) * s.speed
 		if j.attained < 0 {
 			j.attained = 0
@@ -98,7 +98,7 @@ func (s *FCFSServer) Remove(j *Job) bool {
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 	if len(s.queue) == 0 {
 		s.busyTime += s.engine.Now() - s.busySince
-	} else if idx == 0 && s.headEv == nil {
+	} else if idx == 0 && !s.headEv.Active() {
 		s.startHead()
 	}
 	return true

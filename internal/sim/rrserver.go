@@ -17,8 +17,12 @@ type RRServer struct {
 	onDepart func(*Job)
 
 	queue      []*Job // FIFO run queue; queue[0] is running
-	sliceEv    *Event
+	sliceEv    Event
 	sliceStart float64 // engine time the current slice began
+	sliceLen   float64 // length of the current slice
+	// endSliceFn is the endSlice method value, bound once so each slice
+	// does not allocate a fresh closure.
+	endSliceFn func()
 
 	busyTime  float64
 	busySince float64
@@ -31,7 +35,9 @@ func NewRRServer(en *Engine, speed, quantum float64, onDepart func(*Job)) *RRSer
 	if !(speed > 0) || !(quantum > 0) {
 		panic(fmt.Sprintf("sim: invalid RR server (speed=%v, quantum=%v)", speed, quantum))
 	}
-	return &RRServer{engine: en, speed: speed, quantum: quantum, onDepart: onDepart}
+	s := &RRServer{engine: en, speed: speed, quantum: quantum, onDepart: onDepart}
+	s.endSliceFn = s.endSlice
+	return s
 }
 
 // Speed returns the server's relative speed.
@@ -72,13 +78,15 @@ func (s *RRServer) startSlice() {
 		sliceTime = need
 	}
 	s.sliceStart = s.engine.Now()
-	s.sliceEv = s.engine.ScheduleAfter(sliceTime, func() { s.endSlice(sliceTime) })
+	s.sliceLen = sliceTime
+	s.sliceEv = s.engine.ScheduleAfter(sliceTime, s.endSliceFn)
 }
 
 // endSlice charges the elapsed slice to the head job, then either
 // completes it or rotates it to the tail.
-func (s *RRServer) endSlice(sliceTime float64) {
-	s.sliceEv = nil
+func (s *RRServer) endSlice() {
+	sliceTime := s.sliceLen
+	s.sliceEv = Event{}
 	head := s.queue[0]
 	head.attained -= sliceTime * s.speed
 	if head.attained <= 1e-12 {
@@ -112,8 +120,11 @@ type FCFSServer struct {
 	onDepart func(*Job)
 
 	queue     []*Job
-	headEv    *Event
+	headEv    Event
 	headStart float64 // engine time the head job began service
+	// finishFn is the finishHead method value, bound once so each service
+	// completion does not allocate a fresh closure.
+	finishFn func()
 
 	busyTime  float64
 	busySince float64
@@ -125,7 +136,9 @@ func NewFCFSServer(en *Engine, speed float64, onDepart func(*Job)) *FCFSServer {
 	if !(speed > 0) {
 		panic(fmt.Sprintf("sim: FCFS server speed must be positive, got %v", speed))
 	}
-	return &FCFSServer{engine: en, speed: speed, onDepart: onDepart}
+	s := &FCFSServer{engine: en, speed: speed, onDepart: onDepart}
+	s.finishFn = s.finishHead
+	return s
 }
 
 // Speed returns the server's relative speed.
@@ -161,18 +174,24 @@ func (s *FCFSServer) Arrive(j *Job) {
 func (s *FCFSServer) startHead() {
 	head := s.queue[0]
 	s.headStart = s.engine.Now()
-	s.headEv = s.engine.ScheduleAfter(head.attained/s.speed, func() {
-		s.headEv = nil
-		s.queue = s.queue[1:]
-		head.Completion = s.engine.Now()
-		s.departed++
-		if len(s.queue) == 0 {
-			s.busyTime += s.engine.Now() - s.busySince
-		} else {
-			s.startHead()
-		}
-		if s.onDepart != nil {
-			s.onDepart(head)
-		}
-	})
+	s.headEv = s.engine.ScheduleAfter(head.attained/s.speed, s.finishFn)
+}
+
+// finishHead completes the running head job. The head cannot have changed
+// since startHead: Remove and Evict cancel the pending event before
+// touching the queue.
+func (s *FCFSServer) finishHead() {
+	s.headEv = Event{}
+	head := s.queue[0]
+	s.queue = s.queue[1:]
+	head.Completion = s.engine.Now()
+	s.departed++
+	if len(s.queue) == 0 {
+		s.busyTime += s.engine.Now() - s.busySince
+	} else {
+		s.startHead()
+	}
+	if s.onDepart != nil {
+		s.onDepart(head)
+	}
 }

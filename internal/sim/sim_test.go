@@ -44,13 +44,17 @@ func TestEngineCancel(t *testing.T) {
 	var en Engine
 	fired := false
 	ev := en.Schedule(1, func() { fired = true })
+	if !ev.Active() {
+		t.Error("Active() = false before cancel")
+	}
 	ev.Cancel()
+	if ev.Active() {
+		t.Error("Active() = true after cancel")
+	}
+	ev.Cancel() // double-cancel is a no-op
 	en.RunUntil(10)
 	if fired {
 		t.Error("cancelled event fired")
-	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() = false")
 	}
 }
 

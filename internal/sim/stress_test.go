@@ -35,7 +35,7 @@ func TestEngineHeapOrderingRandomized(t *testing.T) {
 		n := 200 + st.Intn(200)
 		events := make([]ev, n)
 		var fired []int
-		handles := make([]*Event, n)
+		handles := make([]Event, n)
 		for i := 0; i < n; i++ {
 			tm := st.Float64() * 1000
 			events[i] = ev{time: tm, seq: i}
@@ -111,7 +111,7 @@ func TestQuickEngineFiredCount(t *testing.T) {
 	f := func(times []float64, cancelMask []bool) bool {
 		var en Engine
 		valid := 0
-		var handles []*Event
+		var handles []Event
 		for _, tm := range times {
 			if math.IsNaN(tm) || math.IsInf(tm, 0) || tm < 0 || tm > 1e12 {
 				continue
@@ -254,8 +254,8 @@ func TestRRServerConservation(t *testing.T) {
 	}
 }
 
-// TestEngineManyCancellations exercises lazy deletion under heavy
-// cancellation pressure (the PS server cancels its tentative departure on
+// TestEngineManyCancellations exercises slot reuse under heavy
+// cancellation pressure (the PS server replaces its tentative departure on
 // every arrival, so this is the hot path).
 func TestEngineManyCancellations(t *testing.T) {
 	var en Engine
@@ -263,12 +263,10 @@ func TestEngineManyCancellations(t *testing.T) {
 	fired := 0
 	rounds := stressN(1000)
 	for round := 0; round < rounds; round++ {
-		var keep *Event
+		var keep Event
 		for k := 0; k < 10; k++ {
 			ev := en.ScheduleAfter(st.Float64()*10, func() { fired++ })
-			if keep != nil {
-				keep.Cancel()
-			}
+			keep.Cancel() // no-op on the zero handle in the first iteration
 			keep = ev
 		}
 		// Only the last of each batch survives.
