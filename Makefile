@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check stress vet fmt clean probe-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke benchcheck bench-baseline
 
 all: build
 
@@ -27,6 +27,13 @@ vet:
 # race detector with -short so the internal/sim stress tests run at reduced
 # iteration counts (see stressN in internal/sim/stress_test.go).
 check: vet build
+	$(GO) test -race -short ./...
+
+# race runs the whole suite under the race detector with -short (stress
+# tests at reduced iteration counts). The adaptive re-planning loop,
+# drift modulation and replication scheduler all share engine state, so
+# CI runs this as its own job.
+race:
 	$(GO) test -race -short ./...
 
 # stress runs the internal/sim stress tests at full iteration counts under

@@ -48,7 +48,7 @@ func main() {
 	mode := os.Args[1]
 	fs := flag.NewFlagSet("benchreg "+mode, flag.ExitOnError)
 	var (
-		pkgs      = fs.String("pkgs", ".,./internal/sim", "comma-separated packages whose benchmarks to run (root macro suite + engine micro-benchmarks)")
+		pkgs      = fs.String("pkgs", ".,./internal/sim,./internal/stats", "comma-separated packages whose benchmarks to run (root macro suite + engine and estimator micro-benchmarks)")
 		benchPat  = fs.String("bench", ".", "benchmark name pattern passed to -bench")
 		benchtime = fs.String("benchtime", "1s", "per-benchmark measuring time passed to -benchtime")
 		count     = fs.Int("count", 3, "benchmark repetitions passed to -count; repeats are merged best-of to shed scheduling noise")

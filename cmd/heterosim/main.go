@@ -21,6 +21,14 @@
 // these set, the run reports goodput vs. throughput and the drop
 // breakdown; rho may exceed 1 to study saturation.
 //
+// Parameter drift and adaptation: -drift perturbs the ground truth
+// mid-run (arrival-rate steps/ramps/cycles, per-computer speed steps,
+// one-shot misestimation of the planner inputs) while -replan arms a
+// stability watchdog that re-solves the static allocation from online
+// estimates of lambda and the service rates; -estimator selects the
+// estimator (sliding window or EWMA). With all three empty, runs are
+// bit-identical to builds without this layer.
+//
 // Observability: -probe turns on the metrics registry (per-computer
 // queue length, utilization, up/down, breaker state, in-system count,
 // interarrival statistics), -sample-dt adds fixed-cadence samples,
@@ -78,6 +86,9 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write a run manifest (config, seed, git, wall/sim time, final metrics) to this JSON file")
 	sampleDT := flag.Float64("sample-dt", 0, "also sample probe series every this many simulated seconds (0 = event boundaries only; implies -probe)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	driftFlag := flag.String("drift", "", "ground-truth drift specs, comma-separated: lstep:T:F, lramp:T0:T1:F, lcycle:P:A, sstep:T:F[:IDX], mis:RHOERR[:SPEEDERR]")
+	replan := flag.String("replan", "", "adaptive re-planning CHECK:TRIP:COOLDOWN[:BAND[:MINN]] (watchdog period, rho trip threshold, cooldown; empty disables)")
+	estimator := flag.String("estimator", "", "online estimator win:N or ewma:ALPHA (default win:256; needs -replan)")
 	flag.Parse()
 	start := time.Now()
 
@@ -116,6 +127,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	driftCfg, adaptCfg, err := cli.DriftParams{
+		Drift: *driftFlag, Replan: *replan, Estimator: *estimator,
+	}.Build(len(speeds))
+	if err != nil {
+		fatal(err)
+	}
 	factory, err := cli.ParsePolicy(*policyFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -133,6 +150,8 @@ func main() {
 		ArrivalCV:   *cv,
 		Faults:      faultCfg,
 		Overload:    ovCfg,
+		Drift:       driftCfg,
+		Adapt:       adaptCfg,
 	}
 	if *cv == 1 {
 		cfg.ExponentialArrivals = true
@@ -270,6 +289,33 @@ func main() {
 		}
 	}
 
+	if r0.Adaptive != nil {
+		fmt.Println()
+		var replans, fallbacks, breaches, supCool, supHyst, lowConf int64
+		for _, run := range res.Runs {
+			if run.Adaptive == nil {
+				continue
+			}
+			replans += run.Adaptive.Replans
+			fallbacks += run.Adaptive.Fallbacks
+			breaches += run.Adaptive.Breaches
+			supCool += run.Adaptive.SuppressedCooldown
+			supHyst += run.Adaptive.SuppressedHysteresis
+			lowConf += run.Adaptive.LowConfidence
+		}
+		at := report.NewTable("adaptive re-planning (sums across replications)", "metric", "value")
+		at.AddRow("watchdog checks (rep 0)", strconv.FormatInt(r0.Adaptive.Checks, 10))
+		at.AddRow("breaches / re-plans / fallbacks", fmt.Sprintf("%d / %d / %d", breaches, replans, fallbacks))
+		at.AddRow("suppressed (cooldown / hysteresis)", fmt.Sprintf("%d / %d", supCool, supHyst))
+		at.AddRow("low-confidence checks", strconv.FormatInt(lowConf, 10))
+		at.AddRow("final lambda-hat (rep 0)", report.F(r0.Adaptive.LambdaHat))
+		at.AddRow("final rho-hat / planned rho (rep 0)",
+			fmt.Sprintf("%s / %s", report.F(r0.Adaptive.RhoHat), report.F(r0.Adaptive.PlannedRho)))
+		if _, err := at.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if pb != nil {
 		fmt.Println()
 		et := report.NewTable("lifecycle events (instrumented rep-0 pass)", "event", "count")
@@ -317,6 +363,15 @@ func main() {
 			m.Config["timeout"] = *timeout
 			m.Config["retry"] = *retry
 		}
+		if driftCfg != nil {
+			m.Config["drift"] = *driftFlag
+		}
+		if adaptCfg != nil {
+			m.Config["replan"] = *replan
+			if *estimator != "" {
+				m.Config["estimator"] = *estimator
+			}
+		}
 		if pp.SampleDT > 0 {
 			m.Config["sample_dt"] = pp.SampleDT
 		}
@@ -329,6 +384,10 @@ func main() {
 		m.Metrics["mean_response_time"] = res.MeanResponseTime.Mean
 		m.Metrics["mean_response_ratio"] = res.MeanResponseRatio.Mean
 		m.Metrics["fairness"] = res.Fairness.Mean
+		if r0.Adaptive != nil {
+			m.Metrics["adapt_replans"] = float64(r0.Adaptive.Replans)
+			m.Metrics["adapt_rho_hat"] = r0.Adaptive.RhoHat
+		}
 		if pb != nil {
 			for k, v := range pb.Registry().FinalSnapshot() {
 				m.Metrics[k] = v

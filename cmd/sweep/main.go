@@ -39,6 +39,7 @@ import (
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
+	"heterosched/internal/drift"
 	"heterosched/internal/faults"
 	"heterosched/internal/probe"
 	"heterosched/internal/report"
@@ -73,6 +74,9 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write a sweep manifest (config, seed, git, wall/sim time, metrics) to this JSON file")
 	sampleDT := flag.Float64("sample-dt", 0, "also sample probe series every this many simulated seconds (implies -probe)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	driftFlag := flag.String("drift", "", "ground-truth drift specs, comma-separated: lstep:T:F, lramp:T0:T1:F, lcycle:P:A, sstep:T:F[:IDX], mis:RHOERR[:SPEEDERR]")
+	replan := flag.String("replan", "", "adaptive re-planning CHECK:TRIP:COOLDOWN[:BAND[:MINN]] (empty disables)")
+	estimator := flag.String("estimator", "", "online estimator win:N or ewma:ALPHA (default win:256; needs -replan)")
 	flag.Parse()
 	start := time.Now()
 
@@ -119,6 +123,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	driftCfg, adaptCfg, err := cli.DriftParams{
+		Drift: *driftFlag, Replan: *replan, Estimator: *estimator,
+	}.Build(len(speeds))
+	if err != nil {
+		fatal(err)
+	}
 	names, factories, err := cli.ParsePolicies(*policiesFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -133,7 +143,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, pp)
+	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, pp)
 	if err != nil {
 		fatal(err)
 	}
@@ -165,6 +175,12 @@ func main() {
 		m.Config["duration"] = *duration
 		m.Config["reps"] = *reps
 		m.Config["cv"] = *cv
+		if driftCfg != nil {
+			m.Config["drift"] = *driftFlag
+		}
+		if adaptCfg != nil {
+			m.Config["replan"] = *replan
+		}
 		if pp.SampleDT > 0 {
 			m.Config["sample_dt"] = pp.SampleDT
 		}
@@ -205,9 +221,15 @@ func sweepValues(from, to, step float64) []float64 {
 // goodput, drops and deadline misses. With probe instrumentation active,
 // one extra uninstrumented-identical pass runs per cell and the third
 // return carries per-cell probe metrics for the manifest.
+//
+// A cell whose run fails — typically an infeasible allocation
+// (alloc.ErrBadInput) at extreme rho or degenerate speeds — is skipped:
+// its cells render as "-" and a table note names the cell and the
+// error, instead of aborting the whole sweep.
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
-	ovCfg *cluster.OverloadConfig, pp cli.ProbeParams,
+	ovCfg *cluster.OverloadConfig, driftCfg *drift.Config, adaptCfg *cluster.AdaptConfig,
+	pp cli.ProbeParams,
 ) ([]*report.Table, *report.Table, map[string]float64, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
@@ -228,6 +250,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	}
 	withProbe := pp.Active()
 	probeMetrics := map[string]float64{}
+	var skipped []string
 	var cvT *report.Table
 	if pp.Probe || pp.SampleDT > 0 {
 		cvT = report.NewTable("interarrival CV (mean across computers, instrumented pass)", headers...)
@@ -252,13 +275,33 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				ArrivalCV:   cv,
 				Faults:      faultCfg,
 				Overload:    ovCfg,
+				Drift:       driftCfg,
+				Adapt:       adaptCfg,
 			}
 			if cv == 1 {
 				cfg.ExponentialArrivals = true
 			}
 			res, err := cluster.RunReplications(cfg, f, reps)
 			if err != nil {
-				return nil, nil, nil, err
+				// Skip the bad cell instead of aborting the sweep: fill
+				// every table with "-" and report the reason in a note.
+				skipped = append(skipped, fmt.Sprintf("%s at rho=%s: %v", names[k], report.F(rho), err))
+				rowR = append(rowR, "-")
+				rowT = append(rowT, "-")
+				rowF = append(rowF, "-")
+				if withFaults {
+					rowL = append(rowL, "-")
+					rowD = append(rowD, "-")
+				}
+				if withOverload {
+					rowG = append(rowG, "-")
+					rowX = append(rowX, "-")
+					rowM = append(rowM, "-")
+				}
+				if cvT != nil {
+					rowC = append(rowC, "-")
+				}
+				continue
 			}
 			rowR = append(rowR, report.F(res.MeanResponseRatio.Mean))
 			rowT = append(rowT, report.F(res.MeanResponseTime.Mean))
@@ -279,9 +322,11 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			if withProbe {
 				meanCV, err := probeCell(cfg, f, names[k], rho, pp)
 				if err != nil {
-					return nil, nil, nil, err
-				}
-				if cvT != nil {
+					skipped = append(skipped, fmt.Sprintf("%s at rho=%s (probe pass): %v", names[k], report.F(rho), err))
+					if cvT != nil {
+						rowC = append(rowC, "-")
+					}
+				} else if cvT != nil {
 					rowC = append(rowC, report.F(meanCV))
 					probeMetrics[fmt.Sprintf("interarrival_cv.%s.rho%s", names[k], report.F(rho))] = meanCV
 				}
@@ -312,6 +357,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		note += fmt.Sprintf("; overload protection: admission %s, queue cap %d", ovCfg.Admission, ovCfg.QueueCap)
 	}
 	ratio.AddNote("%s", note)
+	for _, s := range skipped {
+		ratio.AddNote("skipped cell %s", s)
+	}
 	tables := []*report.Table{timeT, ratio, fair}
 	if withFaults {
 		tables = append(tables, lostT, degT)

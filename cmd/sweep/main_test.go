@@ -1,9 +1,11 @@
 package main
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -11,6 +13,7 @@ import (
 	"heterosched/internal/cluster"
 	"heterosched/internal/dist"
 	"heterosched/internal/faults"
+	"heterosched/internal/sim"
 )
 
 func TestSweepValues(t *testing.T) {
@@ -64,7 +67,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil, cli.ProbeParams{})
+		5000, 2, 1, 1, nil, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +96,7 @@ func TestRunSweepWithFaults(t *testing.T) {
 	}
 	factories = append(factories, f)
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
-		1e4, 2, 1, 1, fc, nil, cli.ProbeParams{})
+		1e4, 2, 1, 1, fc, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,7 @@ func TestRunSweepWithOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
-		1e4, 2, 1, 1, nil, ovCfg, cli.ProbeParams{})
+		1e4, 2, 1, 1, nil, ovCfg, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestRunSweepWithProbe(t *testing.T) {
 	}
 	pp := cli.ProbeParams{Probe: true, Events: dir}
 	tables, _, metrics, err := runSweep([]float64{1, 2}, []float64{0.5}, names, factories,
-		1e4, 1, 1, 1, nil, nil, pp)
+		1e4, 1, 1, 1, nil, nil, nil, nil, pp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,5 +173,79 @@ func TestRunSweepWithProbe(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing cell event stream: %v", err)
 		}
+	}
+}
+
+// badInitPolicy fails at Init, standing in for any per-cell setup error
+// (e.g. alloc.ErrBadInput on a degenerate grid point).
+type badInitPolicy struct{}
+
+func (badInitPolicy) Name() string                { return "BAD" }
+func (badInitPolicy) Init(*cluster.Context) error { return errors.New("synthetic cell failure") }
+func (badInitPolicy) Select(*sim.Job) int         { return 0 }
+func (badInitPolicy) Departed(*sim.Job)           {}
+
+// TestRunSweepSkipsBadCells: a cell whose run fails must not abort the
+// sweep — its cells render "-" in every table, a note names the cell,
+// and the healthy policy's column still fills in.
+func TestRunSweepSkipsBadCells(t *testing.T) {
+	names, factories, err := cli.ParsePolicies("ORR", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "BAD")
+	factories = append(factories, func() cluster.Policy { return badInitPolicy{} })
+	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
+		5000, 2, 1, 1, nil, nil, nil, nil, cli.ProbeParams{})
+	if err != nil {
+		t.Fatalf("sweep aborted on a bad cell: %v", err)
+	}
+	// A skipped cell renders as a lone "-" in the BAD column (the last
+	// cell of each data row), never as a number.
+	cell := regexp.MustCompile(`(?m)^0\.4\s+\S+\s+-\s*$`)
+	ratio := tables[1].String()
+	if !cell.MatchString(ratio) {
+		t.Errorf("ratio table missing skipped-cell placeholder:\n%s", ratio)
+	}
+	if !strings.Contains(ratio, "skipped cell BAD at rho=0.4: ") ||
+		!strings.Contains(ratio, "synthetic cell failure") {
+		t.Errorf("ratio table missing skip note:\n%s", ratio)
+	}
+	// The healthy column still has numeric cells.
+	if out := csvT.String(); !strings.Contains(out, "ORR") {
+		t.Errorf("csv table lost the healthy policy:\n%s", out)
+	}
+	for _, tb := range tables[:3] {
+		if s := tb.String(); !cell.MatchString(s) {
+			t.Errorf("table missing placeholder:\n%s", s)
+		}
+	}
+}
+
+// TestRunSweepWithDrift: drift plus an adaptive ORR sweep runs end to
+// end and keeps its tables; the adaptive loop needs a Replannable
+// policy, which ORR is.
+func TestRunSweepWithDrift(t *testing.T) {
+	names, factories, err := cli.ParsePolicies("ORR", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driftCfg, adaptCfg, err := cli.DriftParams{
+		Drift:  "lstep:5000:2",
+		Replan: "100:0.85:500",
+	}.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
+		1e4, 2, 1, 1, nil, nil, driftCfg, adaptCfg, cli.ProbeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tables))
+	}
+	if s := tables[1].String(); strings.Contains(s, "skipped cell") {
+		t.Errorf("drift sweep produced skipped cells:\n%s", s)
 	}
 }

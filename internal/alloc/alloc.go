@@ -34,6 +34,15 @@ import (
 // is saturated: ρ >= 1).
 var ErrInfeasible = errors.New("alloc: system saturated (utilization >= 1)")
 
+// ErrBadInput is returned (wrapped) when the inputs themselves are
+// malformed — no computers, non-positive/non-finite speeds, a NaN or
+// negative utilization, or a speed vector whose sum over- or underflows
+// float64 so the closed form would silently produce NaN fractions.
+// Callers iterating over generated parameter grids (cmd/sweep) match it
+// with errors.Is to skip-and-report the cell instead of emitting
+// garbage rows.
+var ErrBadInput = errors.New("alloc: invalid input")
+
 // Allocator computes a workload allocation for computers with the given
 // relative speeds at overall system utilization rho = λ/(μ Σ s_i).
 //
@@ -48,15 +57,26 @@ type Allocator interface {
 // validate checks common preconditions shared by all allocators.
 func validate(speeds []float64, rho float64) error {
 	if len(speeds) == 0 {
-		return errors.New("alloc: no computers")
+		return fmt.Errorf("%w: no computers", ErrBadInput)
 	}
+	total := 0.0
 	for i, s := range speeds {
 		if !(s > 0) || math.IsInf(s, 0) {
-			return fmt.Errorf("alloc: speed[%d] = %v, must be positive and finite", i, s)
+			return fmt.Errorf("%w: speed[%d] = %v, must be positive and finite", ErrBadInput, i, s)
 		}
+		total += s
+	}
+	// Per-element checks don't catch a sum that over- or underflows:
+	// β = 1/(ρ Σ s) then degenerates to 0 or +Inf and the closed form
+	// yields NaN fractions deep inside a sweep.
+	if math.IsInf(total, 0) {
+		return fmt.Errorf("%w: speed sum overflows float64", ErrBadInput)
+	}
+	if rho > 0 && math.IsInf(1/(rho*total), 0) {
+		return fmt.Errorf("%w: speed sum %v too small (1/(rho·Σs) overflows)", ErrBadInput, total)
 	}
 	if math.IsNaN(rho) || rho < 0 {
-		return fmt.Errorf("alloc: utilization %v, must be in [0,1)", rho)
+		return fmt.Errorf("%w: utilization %v, must be in [0,1)", ErrBadInput, rho)
 	}
 	if rho >= 1 {
 		return fmt.Errorf("%w: rho = %v", ErrInfeasible, rho)
@@ -203,8 +223,12 @@ func (Optimized) Allocate(speeds []float64, rho float64) ([]float64, error) {
 		sum += a
 	}
 	// Σα = 1 holds analytically; renormalize away float drift so callers
-	// can rely on the invariant bit-for-bit.
-	if sum > 0 && math.Abs(sum-1) > 1e-15 {
+	// can rely on the invariant bit-for-bit. A degenerate sum means an
+	// input slipped past validate — refuse rather than return garbage.
+	if !(sum > 0) || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return nil, fmt.Errorf("%w: allocation degenerated (Σα = %v)", ErrBadInput, sum)
+	}
+	if math.Abs(sum-1) > 1e-15 {
 		for i := range alpha {
 			alpha[i] /= sum
 		}

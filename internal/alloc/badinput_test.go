@@ -1,0 +1,73 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestErrBadInputClassification locks the error taxonomy the sweep
+// front end's skip-and-report logic depends on: malformed inputs are
+// ErrBadInput, a saturated but well-formed system is ErrInfeasible, and
+// the two never alias.
+func TestErrBadInputClassification(t *testing.T) {
+	allocators := []Allocator{Equal{}, Proportional{}, Optimized{}, NumericOptimized{}}
+	bad := []struct {
+		name   string
+		speeds []float64
+		rho    float64
+	}{
+		{"no computers", nil, 0.5},
+		{"zero speed", []float64{1, 0}, 0.5},
+		{"negative speed", []float64{-1, 2}, 0.5},
+		{"NaN speed", []float64{math.NaN(), 1}, 0.5},
+		{"Inf speed", []float64{math.Inf(1), 1}, 0.5},
+		{"overflowing speed sum", []float64{math.MaxFloat64, math.MaxFloat64}, 0.5},
+		{"underflowing speed sum", []float64{5e-324, 5e-324}, 0.5},
+		{"negative rho", []float64{1, 2}, -0.1},
+		{"NaN rho", []float64{1, 2}, math.NaN()},
+	}
+	for _, a := range allocators {
+		for _, c := range bad {
+			_, err := a.Allocate(c.speeds, c.rho)
+			if !errors.Is(err, ErrBadInput) {
+				t.Errorf("%s: %s: err = %v, want ErrBadInput", a.Name(), c.name, err)
+			}
+			if errors.Is(err, ErrInfeasible) {
+				t.Errorf("%s: %s: bad input misclassified as infeasible", a.Name(), c.name)
+			}
+		}
+		// Saturation stays a distinct category.
+		for _, rho := range []float64{1, 1.5, math.Inf(1)} {
+			_, err := a.Allocate([]float64{1, 2}, rho)
+			if !errors.Is(err, ErrInfeasible) || errors.Is(err, ErrBadInput) {
+				t.Errorf("%s: rho=%v: err = %v, want ErrInfeasible and not ErrBadInput", a.Name(), rho, err)
+			}
+		}
+	}
+}
+
+// TestValidInputsStillAccepted guards the hardening against
+// over-rejection: ordinary and mildly extreme-but-finite grids must
+// still allocate.
+func TestValidInputsStillAccepted(t *testing.T) {
+	cases := []struct {
+		speeds []float64
+		rho    float64
+	}{
+		{[]float64{1, 1, 2, 10}, 0.9},
+		{[]float64{1e-100, 1e-100}, 0.5},
+		{[]float64{1e100, 1e100}, 0.999},
+		{[]float64{1}, 0},
+	}
+	for _, a := range []Allocator{Proportional{}, Optimized{}} {
+		for _, c := range cases {
+			alpha, err := a.Allocate(c.speeds, c.rho)
+			if err != nil {
+				t.Errorf("%s: Allocate(%v, %v) = %v, want success", a.Name(), c.speeds, c.rho, err)
+				continue
+			}
+			checkFeasible(t, c.speeds, alpha, c.rho)
+		}
+	}
+}

@@ -245,7 +245,8 @@ type Thresholds struct {
 }
 
 // DefaultHotPrefixes are the event-engine hot-path benchmarks
-// (internal/sim) whose regressions fail the build.
+// (internal/sim) whose regressions fail the build, plus the online
+// estimators (internal/stats) the adaptive layer calls once per job.
 var DefaultHotPrefixes = []string{
 	"EngineSteadyState",
 	"EngineHeapOps",
@@ -253,6 +254,7 @@ var DefaultHotPrefixes = []string{
 	"EngineScheduleStep",
 	"PSServerUpdate",
 	"PSServerThroughput",
+	"EstimatorSteadyState",
 }
 
 // Hot reports whether the (normalized) benchmark name is tagged hot-path.

@@ -79,3 +79,47 @@ func FuzzRunSpecs(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDriftSpecs throws arbitrary strings at the drift/estimator/replan
+// flag grammar. The contract matches the other fuzzers: Build never
+// panics, every rejection carries a message, and anything accepted
+// passes the downstream validators for every plausible cluster size.
+func FuzzDriftSpecs(f *testing.F) {
+	f.Add("lstep:20000:2", "win:2048", "100:0.85:500", 4)
+	f.Add("lramp:0:40000:3,sstep:10000:0.5:3,mis:-0.2:0.1", "ewma:0.05", "50:0.9:250:0.05:128", 4)
+	f.Add("lcycle:86400:0.5,sstep:100:2", "", "500:0.8:500", 2)
+	f.Add("", "", "", 1)
+	f.Add("mis:-0.5", "win:1", "0:0:0", 0)
+	f.Add("lstep::,lstep:1:2", "ewma:", ":::::", -1)
+	f.Add("sstep:inf:nan:9999999999", "win:9999999999999999999", "1e308:-1:nan", 3)
+	f.Fuzz(func(t *testing.T, driftSpec, estSpec, replanSpec string, computers int) {
+		p := DriftParams{Drift: driftSpec, Replan: replanSpec, Estimator: estSpec}
+		dc, ac, err := p.Build(computers)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from DriftParams.Build")
+			}
+			return
+		}
+		if dc != nil {
+			if verr := dc.Validate(computers); verr != nil {
+				t.Fatalf("Build accepted drift %q but Validate rejects: %v", driftSpec, verr)
+			}
+			if !dc.Enabled() {
+				t.Fatalf("Build returned a disabled drift config for %q (want nil)", driftSpec)
+			}
+		}
+		if ac != nil {
+			if verr := ac.Validate(); verr != nil {
+				t.Fatalf("Build accepted replan %q / estimator %q but Validate rejects: %v",
+					replanSpec, estSpec, verr)
+			}
+			if !ac.Enabled() {
+				t.Fatalf("Build returned a disabled adapt config for %q (want nil)", replanSpec)
+			}
+		}
+		if replanSpec == "" && ac != nil {
+			t.Fatal("adapt config without a -replan spec")
+		}
+	})
+}

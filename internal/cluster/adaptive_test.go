@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"heterosched/internal/alloc"
+	"heterosched/internal/drift"
+	"heterosched/internal/sim"
+)
+
+// replanPolicy is a minimal Replannable policy: speed-weighted random
+// dispatch whose weights can be swapped mid-run. It records every
+// control action so tests can assert on the loop's behavior without
+// importing internal/sched (which would cycle).
+type replanPolicy struct {
+	fractions []float64
+	prefix    []float64
+	plans     []float64 // rho of each successful Replan
+	failPlans bool      // force Replan to report infeasibility
+	props     int       // ReplanProportional calls
+	ctx       *Context
+}
+
+func newReplanPolicy() *replanPolicy { return &replanPolicy{} }
+
+func (p *replanPolicy) Name() string { return "replan-test" }
+
+func (p *replanPolicy) Init(ctx *Context) error {
+	p.ctx = ctx
+	return p.apply(ctx.Speeds)
+}
+
+func (p *replanPolicy) apply(speeds []float64) error {
+	sum := 0.0
+	for _, s := range speeds {
+		sum += s
+	}
+	p.fractions = make([]float64, len(speeds))
+	p.prefix = make([]float64, len(speeds))
+	acc := 0.0
+	for i, s := range speeds {
+		p.fractions[i] = s / sum
+		acc += s / sum
+		p.prefix[i] = acc
+	}
+	return nil
+}
+
+func (p *replanPolicy) Select(_ *sim.Job) int {
+	u := p.ctx.RNG.Float64()
+	for i, c := range p.prefix {
+		if u < c {
+			return i
+		}
+	}
+	return len(p.prefix) - 1
+}
+
+func (p *replanPolicy) Departed(*sim.Job) {}
+
+func (p *replanPolicy) Replan(speeds []float64, rho float64) error {
+	if p.failPlans {
+		return alloc.ErrBadInput
+	}
+	p.plans = append(p.plans, rho)
+	return p.apply(speeds)
+}
+
+func (p *replanPolicy) ReplanProportional(speeds []float64) error {
+	p.props++
+	return p.apply(speeds)
+}
+
+func (p *replanPolicy) Fractions() []float64 { return p.fractions }
+
+// TestAdaptiveReplansUnderRateStep drives the watchdog through an
+// arrival-rate step that doubles the offered load and requires the
+// control loop to notice and re-plan at a believable utilization.
+func TestAdaptiveReplansUnderRateStep(t *testing.T) {
+	const dur = 2e5
+	cfg := Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.45,
+		Duration:    dur,
+		Seed:        3,
+		Drift:       &drift.Config{Arrival: drift.Step{At: dur / 2, Factor: 2}},
+		Adapt: &AdaptConfig{
+			CheckInterval: dur / 400,
+			Cooldown:      dur / 100,
+			RhoTrip:       0.85,
+			Estimator:     EstimatorConfig{Window: 2048},
+		},
+	}
+	p := newReplanPolicy()
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Adaptive
+	if st == nil {
+		t.Fatal("Adaptive stats nil with Adapt enabled")
+	}
+	if st.Checks == 0 || st.Breaches == 0 {
+		t.Fatalf("watchdog idle: checks=%d breaches=%d", st.Checks, st.Breaches)
+	}
+	if st.Replans == 0 {
+		t.Fatalf("no re-plans after a 2x rate step (stats %+v)", st)
+	}
+	if int64(len(p.plans)) != st.Replans {
+		t.Errorf("policy saw %d replans, stats say %d", len(p.plans), st.Replans)
+	}
+	// The loop must have converged on roughly the true post-step load.
+	if st.PlannedRho < 0.7 {
+		t.Errorf("final planned rho %v, want >= 0.7 (true post-step load 0.9)", st.PlannedRho)
+	}
+	// Speed estimates come from completed work over busy time and must
+	// land near truth (the fastest computer is the critical one).
+	if len(st.SpeedHat) != 4 || math.Abs(st.SpeedHat[3]-10) > 2.5 {
+		t.Errorf("speed-10 estimate %v too far from truth", st.SpeedHat)
+	}
+}
+
+// TestAdaptiveCooldownBoundsReplans locks the hysteresis contract: plan
+// changes (re-plans and fallbacks together) can never be more frequent
+// than one per cooldown window.
+func TestAdaptiveCooldownBoundsReplans(t *testing.T) {
+	const dur = 2e5
+	const cooldown = dur / 20
+	cfg := Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.45,
+		Duration:    dur,
+		Seed:        5,
+		Drift:       &drift.Config{Arrival: drift.Step{At: dur / 4, Factor: 2.2}},
+		Adapt: &AdaptConfig{
+			CheckInterval: dur / 800,
+			Cooldown:      cooldown,
+			RhoTrip:       0.8,
+			Estimator:     EstimatorConfig{Window: 1024},
+		},
+	}
+	res, err := Run(cfg, newReplanPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Adaptive
+	if st.Replans == 0 {
+		t.Fatal("no re-plans; the bound below would be vacuous")
+	}
+	if limit := int64(dur/cooldown) + 1; st.Replans+st.Fallbacks > limit {
+		t.Errorf("%d plan changes exceed cooldown bound %d", st.Replans+st.Fallbacks, limit)
+	}
+	if st.SuppressedCooldown == 0 {
+		t.Error("overloaded run with frequent checks never hit the cooldown suppressor")
+	}
+}
+
+// TestAdaptiveLowConfidenceFallsBack starves the estimators (MinSamples
+// beyond the run's job count) and overloads the system: the loop must
+// never apply an estimate-driven plan, but sustained queue growth plus
+// untrustworthy estimates must engage the proportional fallback.
+func TestAdaptiveLowConfidenceFallsBack(t *testing.T) {
+	const dur = 1e5
+	cfg := Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.45,
+		Duration:    dur,
+		Seed:        9,
+		Drift:       &drift.Config{Arrival: drift.Step{At: dur / 4, Factor: 3}},
+		Adapt: &AdaptConfig{
+			CheckInterval: dur / 400,
+			Cooldown:      dur / 100,
+			MinSamples:    1 << 40,
+			Estimator:     EstimatorConfig{Window: 512},
+		},
+	}
+	p := newReplanPolicy()
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Adaptive
+	if st.Replans != 0 {
+		t.Errorf("%d estimate-driven re-plans despite starved estimators", st.Replans)
+	}
+	if st.LowConfidence == 0 {
+		t.Error("LowConfidence never counted")
+	}
+	if st.Fallbacks == 0 || p.props == 0 {
+		t.Errorf("queue growth under low confidence did not engage the proportional fallback (stats %+v)", st)
+	}
+}
+
+// TestAdaptiveInfeasibleReplanFallsBack forces every Replan to fail and
+// checks the loop degrades to proportional weights instead of erroring
+// out or keeping a saturating plan silently.
+func TestAdaptiveInfeasibleReplanFallsBack(t *testing.T) {
+	const dur = 1e5
+	cfg := Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.45,
+		Duration:    dur,
+		Seed:        11,
+		Drift:       &drift.Config{Arrival: drift.Step{At: dur / 4, Factor: 2}},
+		Adapt: &AdaptConfig{
+			CheckInterval: dur / 400,
+			Cooldown:      dur / 100,
+			RhoTrip:       0.8,
+			Estimator:     EstimatorConfig{Window: 1024},
+		},
+	}
+	p := newReplanPolicy()
+	p.failPlans = true
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Adaptive
+	if st.Replans != 0 {
+		t.Errorf("Replans = %d with a policy that always fails", st.Replans)
+	}
+	if st.Fallbacks == 0 || p.props == 0 {
+		t.Errorf("infeasible re-plans never fell back to proportional weights (stats %+v)", st)
+	}
+}
+
+// TestAdaptiveRequiresReplannable locks the config contract: an enabled
+// Adapt with a policy that cannot re-plan is a setup error, not a
+// silent no-op.
+func TestAdaptiveRequiresReplannable(t *testing.T) {
+	cfg := Config{
+		Speeds:      []float64{1, 2},
+		Utilization: 0.5,
+		Duration:    1e3,
+		Seed:        1,
+		Adapt:       &AdaptConfig{CheckInterval: 100},
+	}
+	_, err := Run(cfg, &splitPolicy{})
+	if err == nil || !strings.Contains(err.Error(), "re-plan") {
+		t.Fatalf("err = %v, want re-plannable policy error", err)
+	}
+}
+
+func TestAdaptConfigValidate(t *testing.T) {
+	var nilCfg *AdaptConfig
+	if nilCfg.Enabled() || nilCfg.Validate() != nil {
+		t.Error("nil AdaptConfig must be disabled and valid")
+	}
+	if (&AdaptConfig{}).Enabled() {
+		t.Error("zero AdaptConfig enabled")
+	}
+	good := &AdaptConfig{CheckInterval: 10}
+	if !good.Enabled() || good.Validate() != nil {
+		t.Errorf("minimal enabled config rejected: %v", good.Validate())
+	}
+	bad := []*AdaptConfig{
+		{CheckInterval: -1},
+		{CheckInterval: math.Inf(1)},
+		{CheckInterval: 10, RhoTrip: 1.5},
+		{CheckInterval: 10, RhoTrip: -0.1},
+		{CheckInterval: 10, Cooldown: -1},
+		{CheckInterval: 10, Band: math.NaN()},
+		{CheckInterval: 10, MinSamples: 1},
+		{CheckInterval: 10, MaxRelCI: math.Inf(1)},
+		{CheckInterval: 10, GrowthChecks: -1},
+		{CheckInterval: 10, Estimator: EstimatorConfig{Kind: EstimatorEWMA, Alpha: 2}},
+		{CheckInterval: 10, Estimator: EstimatorConfig{Window: 1}},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("invalid config %+v accepted", *c)
+		}
+	}
+}
+
+// stressN scales a stress-test iteration count down under -short, the
+// same convention as internal/sim (`make race` runs the scaled counts;
+// plain `go test` runs the full ones).
+func stressN(full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// TestAdaptiveDriftStress hammers the full drift + adaptation stack
+// across seeds and perturbation mixes. Every run must terminate without
+// error, conserve jobs, and keep the control-loop counters coherent
+// (plan changes never exceed breaches; every check is accounted for).
+func TestAdaptiveDriftStress(t *testing.T) {
+	const dur = 4e4
+	schedules := []*drift.Config{
+		{Arrival: drift.Step{At: dur / 3, Factor: 2.5}},
+		{Arrival: drift.Ramp{From: dur / 4, To: dur / 2, Factor: 2}},
+		{Arrival: drift.Cycle{Period: dur / 5, Amplitude: 0.6}},
+		{
+			Arrival:    drift.Step{At: dur / 2, Factor: 1.8},
+			SpeedSteps: []drift.SpeedStep{{At: dur / 3, Computer: 3, Factor: 0.25}},
+			Misest:     drift.Misest{RhoErr: -0.3, SpeedErr: 0.2},
+		},
+	}
+	trials := stressN(30)
+	for trial := 0; trial < trials; trial++ {
+		dc := schedules[trial%len(schedules)]
+		cfg := Config{
+			Speeds:      []float64{1, 1, 2, 10},
+			Utilization: 0.4 + 0.05*float64(trial%4),
+			Duration:    dur,
+			Seed:        uint64(1000 + trial),
+			Drift:       dc,
+			Adapt: &AdaptConfig{
+				CheckInterval: dur / 200,
+				Cooldown:      dur / 50,
+				Estimator:     EstimatorConfig{Window: 512},
+			},
+		}
+		res, err := Run(cfg, newReplanPolicy())
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, dc, err)
+		}
+		st := res.Adaptive
+		if st == nil || st.Checks == 0 {
+			t.Fatalf("trial %d: watchdog never ran (%+v)", trial, st)
+		}
+		if st.Replans+st.Fallbacks > st.Breaches {
+			t.Errorf("trial %d: %d plan changes exceed %d breaches",
+				trial, st.Replans+st.Fallbacks, st.Breaches)
+		}
+		if st.SuppressedCooldown+st.SuppressedHysteresis > st.Breaches {
+			t.Errorf("trial %d: suppressions exceed breaches (%+v)", trial, st)
+		}
+		if res.GeneratedJobs < res.Jobs {
+			t.Errorf("trial %d: counted %d jobs but generated only %d",
+				trial, res.Jobs, res.GeneratedJobs)
+		}
+	}
+}

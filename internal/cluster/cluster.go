@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"heterosched/internal/dist"
+	"heterosched/internal/drift"
 	"heterosched/internal/faults"
 	"heterosched/internal/probe"
 	"heterosched/internal/rng"
@@ -151,6 +152,18 @@ type Config struct {
 	// grow without bound at ρ ≥ 1. Zero disables sampling and schedules
 	// no extra events.
 	SampleInterval float64
+	// Drift, when non-nil and enabled, perturbs the ground truth during
+	// the run: arrival-rate schedules, speed steps, and one-shot
+	// misestimation of the inputs the policy plans from (see
+	// internal/drift). With Drift nil or disabled the run is
+	// bit-identical to a build without the drift subsystem: no extra
+	// random stream is derived and no extra events are scheduled.
+	Drift *drift.Config
+	// Adapt, when non-nil and enabled, runs the stability watchdog and
+	// hysteretic re-planning loop (see AdaptConfig); the policy must be
+	// Replannable. With Adapt nil or disabled the run is bit-identical
+	// to a build without the adaptive subsystem.
+	Adapt *AdaptConfig
 }
 
 // ReplayJob is one recorded arrival for trace-driven simulation.
@@ -230,6 +243,20 @@ func (c Config) validate() error {
 	}
 	if c.SampleInterval < 0 || math.IsNaN(c.SampleInterval) || math.IsInf(c.SampleInterval, 0) {
 		return fmt.Errorf("cluster: sample interval %v invalid", c.SampleInterval)
+	}
+	if err := c.Drift.Validate(len(c.Speeds)); err != nil {
+		return err
+	}
+	if c.Drift.Enabled() {
+		if c.Drift.Arrival != nil && len(c.Replay) > 0 {
+			return errors.New("cluster: arrival-rate drift cannot modulate a replayed trace")
+		}
+		if len(c.Drift.SpeedSteps) > 0 && c.Discipline != PS {
+			return fmt.Errorf("cluster: speed drift requires the PS discipline, got %v", c.Discipline)
+		}
+	}
+	if err := c.Adapt.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -327,6 +354,9 @@ type Result struct {
 	// InSystemSeries[k] is the number of jobs in the system at time
 	// (k+1)·SampleInterval; nil unless Config.SampleInterval was set.
 	InSystemSeries []int64
+	// Adaptive holds the watchdog/re-planning counters and final
+	// estimates; nil unless Config.Adapt was enabled.
+	Adaptive *AdaptiveStats
 
 	// The remaining fields are populated only when Config.Faults enabled
 	// failure injection (Availability is nil otherwise).
@@ -403,6 +433,20 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		lambda = arrivals.MeanRate()
 	}
 
+	// Parameter drift. Everything is gated on an enabled drift config so
+	// that drift-free runs stay bit-identical: no extra stream
+	// derivation, no extra events, no perturbed plan inputs.
+	var dr *drift.Config
+	if cfg.Drift.Enabled() {
+		dr = cfg.Drift
+		if dr.Arrival != nil {
+			// The schedule changes the truth the run evolves under;
+			// lambda (the belief reported to the policy) stays the base
+			// rate the plan would be built from.
+			arrivals = drift.Modulated{Base: arrivals, Schedule: dr.Arrival}
+		}
+	}
+
 	en := &sim.Engine{}
 	ctx := &Context{
 		Engine:      en,
@@ -411,6 +455,20 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		Lambda:      lambda,
 		Mu:          mu,
 		RNG:         policyStream,
+	}
+	if dr != nil && dr.Misest.Enabled() {
+		// One-shot misestimation: the policy plans from perturbed inputs
+		// while the simulated world keeps the true values. The dedicated
+		// stream is derived only here, so runs without misestimation are
+		// unaffected.
+		rhoHat, speedsHat := dr.Misest.Apply(cfg.Utilization, cfg.Speeds, root.Derive("drift.misest"))
+		ctx.Utilization = rhoHat
+		ctx.Speeds = speedsHat
+		sumHat := 0.0
+		for _, s := range speedsHat {
+			sumHat += s
+		}
+		ctx.Lambda = rhoHat * sumHat * mu
 	}
 	if err := policy.Init(ctx); err != nil {
 		return nil, fmt.Errorf("cluster: policy %s init: %w", policy.Name(), err)
@@ -501,6 +559,10 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// Adaptive re-planning; constructed after the servers exist, but
+	// declared here so the dispatch closures below can hook it.
+	var ad *adaptiveRun
+
 	onDepart := func(j *sim.Job) {
 		if pb != nil && j.Target >= 0 {
 			pb.SetQueueLen(en.Now(), j.Target, servers[j.Target].InService())
@@ -514,6 +576,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 		} else {
 			policy.Departed(j)
+		}
+		if ad != nil {
+			ad.noteCompletion(j)
 		}
 		inSystem--
 		trackSys()
@@ -547,6 +612,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	if ov != nil {
 		removers = make([]sim.Removable, n)
 	}
+	// Speed drift needs the underlying PS servers (validate enforces the
+	// PS discipline when steps are configured).
+	var psBases []*sim.PSServer
+	if dr != nil && len(dr.SpeedSteps) > 0 {
+		psBases = make([]*sim.PSServer, n)
+	}
 	for i, s := range cfg.Speeds {
 		dep := onDepart
 		var bptr *sim.Bounded
@@ -569,6 +640,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("cluster: unknown discipline %v", cfg.Discipline)
 		}
+		if psBases != nil {
+			psBases[i] = base.(*sim.PSServer)
+		}
 		if ov != nil && cfg.Overload.QueueCap > 0 {
 			idx := i
 			b := sim.NewBounded(base, cfg.Overload.QueueCap, cfg.Overload.Drop,
@@ -581,6 +655,21 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			if ov != nil {
 				removers[i] = base
 			}
+		}
+	}
+
+	if psBases != nil {
+		for _, step := range dr.SpeedSteps {
+			step := step
+			en.Schedule(step.At, func() {
+				if step.Computer >= 0 {
+					psBases[step.Computer].SetSpeed(cfg.Speeds[step.Computer] * step.Factor)
+					return
+				}
+				for i, ps := range psBases {
+					ps.SetSpeed(cfg.Speeds[i] * step.Factor)
+				}
+			})
 		}
 	}
 
@@ -770,6 +859,16 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	if cfg.Adapt.Enabled() {
+		var err error
+		ad, err = newAdaptiveRun(cfg.Adapt, en, cfg.Speeds, servers, policy, ctx.Utilization, func() int64 { return inSystem })
+		if err != nil {
+			return nil, err
+		}
+		ad.bindProbe(pb)
+		ad.start(cfg.Duration)
+	}
+
 	// admit dispatches one job of the given size at the current time. Jobs
 	// come from the arena: a recycled Job is field-identical to a freshly
 	// allocated one (Put zeroes every exported field), so reuse cannot
@@ -777,6 +876,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	admit := func(size float64) {
 		now := en.Now()
 		generated++
+		if ad != nil {
+			ad.noteArrival(now, size)
+		}
 		j := arena.Get()
 		j.ID = generated
 		j.Size = size
@@ -951,6 +1053,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	}
 	if cfg.SampleInterval > 0 {
 		res.InSystemSeries = samples
+	}
+	if ad != nil {
+		res.Adaptive = ad.finish()
 	}
 	if inj != nil {
 		inj.Finish(endTime)

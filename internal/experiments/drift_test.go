@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtDrift runs the parameter-drift study at a reduced scale and
+// checks the qualitative ordering the full-scale acceptance run locks
+// quantitatively: the adaptive variant re-plans at least once and beats
+// the static plan after the step, and the oracle is rendered last (the
+// ratio column's denominator).
+func TestExtDrift(t *testing.T) {
+	res, err := ExtDrift(Options{Scale: 0.02, Reps: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 3 || res.Variants[2] != "oracle re-plan" {
+		t.Fatalf("variants = %v", res.Variants)
+	}
+	for i, v := range res.Variants {
+		if res.PostStepJobs[i] == 0 {
+			t.Errorf("%s measured no post-step jobs", v)
+		}
+		if !(res.PostStepMean[i] > 0) {
+			t.Errorf("%s post-step mean = %v", v, res.PostStepMean[i])
+		}
+	}
+	if res.Replans[1] == 0 {
+		t.Error("adaptive variant never re-planned")
+	}
+	if res.Replans[0] != 0 || res.Replans[2] != 0 {
+		t.Errorf("non-adaptive variants report re-plans: %v", res.Replans)
+	}
+	static, adaptive := res.PostStepMean[0], res.PostStepMean[1]
+	if !(adaptive < static) {
+		t.Errorf("adaptive post-step mean %v not below static %v", adaptive, static)
+	}
+	tables := res.Render()
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	s := tables[0].String()
+	for _, want := range []string{"parameter drift", "static ORR", "adaptive ORR", "oracle re-plan", "vs oracle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}

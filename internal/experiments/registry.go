@@ -108,6 +108,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: r.Render()}, nil
 	},
+	"ext-drift": func(o Options) (*Output, error) {
+		r, err := ExtDrift(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

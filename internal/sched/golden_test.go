@@ -5,6 +5,7 @@ import (
 
 	"heterosched/internal/cluster"
 	"heterosched/internal/dist"
+	"heterosched/internal/drift"
 	"heterosched/internal/faults"
 	"heterosched/internal/probe"
 	"heterosched/internal/sim"
@@ -88,6 +89,40 @@ func TestGoldenProbesOff(t *testing.T) {
 	// OnFinal observes post-warm-up jobs only — exactly the counted ones.
 	if int64(finals) != res.Jobs {
 		t.Errorf("OnFinal fired %d times, want %d (post-warm-up completions)", finals, res.Jobs)
+	}
+}
+
+// TestGoldenDriftOff locks the drift/adaptation layer's inertness
+// promise: attaching a zero-valued drift schedule and a disabled
+// adaptation config must leave the run bit-identical to the default ORR
+// run above. If this drifts while TestGoldenDefaults still passes, the
+// drift or estimator wiring leaked into the drift-off path.
+func TestGoldenDriftOff(t *testing.T) {
+	cfg := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    5e4,
+		Seed:        7,
+		Drift:       &drift.Config{},        // no perturbations scheduled
+		Adapt:       &cluster.AdaptConfig{}, // zero CheckInterval = disabled
+	}
+	res, err := cluster.Run(cfg, ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantTime  = 80.32010488757426
+		wantRatio = 0.85354843255027757
+		wantFair  = 0.76359187852407262
+	)
+	if res.MeanResponseTime != wantTime || res.MeanResponseRatio != wantRatio ||
+		res.Fairness != wantFair || res.Jobs != 3741 || res.GeneratedJobs != 5160 {
+		t.Errorf("drift-off run drifted from golden values:\n got  time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d\n want time=%.17g ratio=%.17g fair=%.17g jobs=3741 gen=5160",
+			res.MeanResponseTime, res.MeanResponseRatio, res.Fairness, res.Jobs, res.GeneratedJobs,
+			wantTime, wantRatio, wantFair)
+	}
+	if res.Adaptive != nil {
+		t.Error("Adaptive stats populated on a drift-off run")
 	}
 }
 

@@ -113,16 +113,22 @@ type Static struct {
 	dispatchRNG *rng.Stream
 	fractions   []float64
 	dispatcher  dispatch.Dispatcher
+	// lastUp remembers the most recent availability mask so a Replan can
+	// reapply it to the rebuilt dispatcher.
+	lastUp []bool
 	// staleFallbacks counts up-set changes where the allocator could not
 	// produce a fresh split (degraded system saturated: ErrInfeasible, or
 	// any other allocator failure) and the policy fell back to the stale
 	// fractions renormalized over the survivors.
 	staleFallbacks int64
+	// replans counts successful Replan applications.
+	replans int64
 }
 
 var _ cluster.Policy = (*Static)(nil)
 var _ cluster.FractionProvider = (*Static)(nil)
 var _ cluster.FaultAware = (*Static)(nil)
+var _ cluster.Replannable = (*Static)(nil)
 
 // Name returns the policy label (e.g. "ORR" for optimized allocation with
 // round-robin dispatch).
@@ -197,6 +203,7 @@ func (s *Static) UpSetChanged(up []bool) {
 	if nUp == 0 {
 		return
 	}
+	s.lastUp = append(s.lastUp[:0], up...)
 	if s.Realloc == ReallocResolve {
 		fr := s.resolveFractions(up)
 		if d, err := s.newDispatcher(fr); err == nil {
@@ -204,14 +211,86 @@ func (s *Static) UpSetChanged(up []bool) {
 			s.dispatcher = d
 		}
 	}
-	if m, ok := s.dispatcher.(dispatch.Masked); ok {
-		if nUp == len(up) {
-			_ = m.SetUp(nil)
-		} else {
-			_ = m.SetUp(up)
+	s.applyMask()
+}
+
+// applyMask masks the current dispatcher with the last known up-set.
+func (s *Static) applyMask() {
+	m, ok := s.dispatcher.(dispatch.Masked)
+	if !ok || s.lastUp == nil {
+		return
+	}
+	nUp := 0
+	for _, u := range s.lastUp {
+		if u {
+			nUp++
 		}
 	}
+	if nUp == len(s.lastUp) {
+		_ = m.SetUp(nil)
+	} else {
+		_ = m.SetUp(s.lastUp)
+	}
 }
+
+// Replan re-solves the policy's allocation for the believed speeds and
+// utilization — the adaptive control loop's entry point
+// (cluster.Replannable). The utilization is clamped to MaxPlanRho like
+// Init; on success the fresh fractions and a rebuilt dispatcher are
+// swapped in atomically (between engine events) and any known
+// availability mask is reapplied. On any allocator or dispatcher error
+// the previous plan stays in place and the error is returned, so the
+// caller can fall back.
+func (s *Static) Replan(speeds []float64, rho float64) error {
+	if s.ctx == nil || len(speeds) != len(s.ctx.Speeds) {
+		return fmt.Errorf("sched: %s replan: got %d speeds, policy has %d", s.Name(), len(speeds), len(s.ctx.Speeds))
+	}
+	planRho := rho
+	if planRho >= MaxPlanRho {
+		planRho = MaxPlanRho
+	}
+	fr, err := s.Allocator.Allocate(speeds, planRho)
+	if err != nil {
+		return fmt.Errorf("sched: %s replan allocation: %w", s.Name(), err)
+	}
+	d, err := s.newDispatcher(fr)
+	if err != nil {
+		return fmt.Errorf("sched: %s replan dispatcher: %w", s.Name(), err)
+	}
+	s.fractions = fr
+	s.dispatcher = d
+	s.replans++
+	s.applyMask()
+	return nil
+}
+
+// ReplanProportional applies speed-proportional fractions over the
+// believed speeds — the safe fallback when estimates are untrustworthy
+// or the allocator reports infeasibility: proportional weighting
+// equalizes utilizations, so no computer saturates before the whole
+// system does.
+func (s *Static) ReplanProportional(speeds []float64) error {
+	if s.ctx == nil || len(speeds) != len(s.ctx.Speeds) {
+		return fmt.Errorf("sched: %s replan: got %d speeds, policy has %d", s.Name(), len(speeds), len(s.ctx.Speeds))
+	}
+	fr, err := alloc.Proportional{}.Allocate(speeds, 0.5)
+	if err != nil {
+		return fmt.Errorf("sched: %s proportional fallback: %w", s.Name(), err)
+	}
+	d, err := s.newDispatcher(fr)
+	if err != nil {
+		return fmt.Errorf("sched: %s proportional fallback dispatcher: %w", s.Name(), err)
+	}
+	s.fractions = fr
+	s.dispatcher = d
+	s.replans++
+	s.applyMask()
+	return nil
+}
+
+// Replans returns how many times the plan was successfully replaced
+// after Init (adaptive re-planning and fallbacks).
+func (s *Static) Replans() int64 { return s.replans }
 
 // resolveFractions re-runs the allocator over the surviving computers at
 // the utilization the offered load implies for the reduced capacity,

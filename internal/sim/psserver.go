@@ -49,6 +49,19 @@ func NewPSServer(en *Engine, speed float64, onDepart func(*Job)) *PSServer {
 // Speed returns the server's relative speed.
 func (s *PSServer) Speed() float64 { return s.speed }
 
+// SetSpeed changes the server's speed from the engine's current time
+// onward (speed drift). Service already received is preserved: the
+// virtual clock is advanced at the old rate first, then the pending
+// departure is recomputed at the new rate.
+func (s *PSServer) SetSpeed(speed float64) {
+	if !(speed > 0) {
+		panic(fmt.Sprintf("sim: PS server speed must be positive, got %v", speed))
+	}
+	s.advance()
+	s.speed = speed
+	s.reschedule()
+}
+
 // InService returns the number of jobs currently sharing the processor.
 func (s *PSServer) InService() int { return len(s.jobs) }
 
