@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check race stress vet fmt clean probe-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke netfault-smoke benchcheck bench-baseline
 
 all: build
 
@@ -36,10 +36,11 @@ check: vet build
 race:
 	$(GO) test -race -short ./...
 
-# stress runs the internal/sim stress tests at full iteration counts under
-# the race detector.
+# stress runs the internal/sim and internal/cluster stress tests at full
+# iteration counts under the race detector (the cluster side includes the
+# long netfault stress run; see TestNetfaultStress).
 stress:
-	$(GO) test -race -run 'Stress|Conservation|Randomized|Cancellations|Monotone|Quick' ./internal/sim/
+	$(GO) test -race -run 'Stress|Conservation|Randomized|Cancellations|Monotone|Quick' ./internal/sim/ ./internal/cluster/
 
 # probe-smoke runs a short fully instrumented simulation (metrics,
 # cadence samples, lifecycle events, trace, manifest) and validates the
@@ -52,6 +53,22 @@ probe-smoke:
 		-trace probe-out/trace.csv > probe-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest probe-out/manifest.json \
 		-events probe-out/events.jsonl -require-terminal
+
+# netfault-smoke runs a short simulation over an unreliable control plane
+# (loss, duplication, latency, dispatcher crashes with checkpoint
+# recovery) with full instrumentation and validates the event stream with
+# probecheck: exactly-once terminals must hold despite resubmission and
+# duplicate delivery.
+netfault-smoke:
+	mkdir -p netfault-out
+	$(GO) run ./cmd/heterosim -speeds 1,1,2,10 -rho 0.7 -policy ORR \
+		-duration 2e4 -reps 1 -probe \
+		-netfault loss:0.05,dup:0.05,lat:2,crash:8000:100,down:buffer \
+		-ackto 30 -dstate ckpt:2500 \
+		-events netfault-out/events.jsonl -manifest netfault-out/manifest.json \
+		> netfault-out/report.txt
+	$(GO) run ./cmd/probecheck -manifest netfault-out/manifest.json \
+		-events netfault-out/events.jsonl -require-terminal
 
 # benchcheck is the benchmark-regression gate: re-measure the hot-path
 # suite and compare against the committed baseline. Fails on >threshold

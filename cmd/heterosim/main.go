@@ -29,6 +29,13 @@
 // estimator (sliding window or EWMA). With all three empty, runs are
 // bit-identical to builds without this layer.
 //
+// Network faults: -netfault makes the dispatcher→computer control plane
+// unreliable (per-link latency/loss/duplication, dispatcher
+// crash/restart, partition windows); -ackto arms the ack/resubmission
+// reliability loop and -dstate picks how a restarted dispatcher
+// recovers its Algorithm 2 state. With all three empty, runs are
+// bit-identical to builds without this layer.
+//
 // Observability: -probe turns on the metrics registry (per-computer
 // queue length, utilization, up/down, breaker state, in-system count,
 // interarrival statistics), -sample-dt adds fixed-cadence samples,
@@ -89,6 +96,9 @@ func main() {
 	driftFlag := flag.String("drift", "", "ground-truth drift specs, comma-separated: lstep:T:F, lramp:T0:T1:F, lcycle:P:A, sstep:T:F[:IDX], mis:RHOERR[:SPEEDERR]")
 	replan := flag.String("replan", "", "adaptive re-planning CHECK:TRIP:COOLDOWN[:BAND[:MINN]] (watchdog period, rho trip threshold, cooldown; empty disables)")
 	estimator := flag.String("estimator", "", "online estimator win:N or ewma:ALPHA (default win:256; needs -replan)")
+	netfaultFlag := flag.String("netfault", "", "network-fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], crash:MTBF:MTTR, down:drop|buffer[:CAP]|failover, part:FROM:TO[:L1+L2+...]")
+	ackto := flag.String("ackto", "", "dispatch ack timeout TO[:BUDGET[:BASE:MAX[:JITTER]]]; required when the network can lose messages")
+	dstate := flag.String("dstate", "", "dispatcher state recovery after a crash: acks, ckpt:DT[:CLIENTTO] or cold[:RELEARN[:CLIENTTO]] (needs a crash item)")
 	flag.Parse()
 	start := time.Now()
 
@@ -133,6 +143,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	netfaultCfg, err := cli.NetfaultParams{
+		Netfault: *netfaultFlag, AckTO: *ackto, DState: *dstate,
+	}.Build(len(speeds))
+	if err != nil {
+		fatal(err)
+	}
 	factory, err := cli.ParsePolicy(*policyFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -152,6 +168,7 @@ func main() {
 		Overload:    ovCfg,
 		Drift:       driftCfg,
 		Adapt:       adaptCfg,
+		Netfault:    netfaultCfg,
 	}
 	if *cv == 1 {
 		cfg.ExponentialArrivals = true
@@ -316,6 +333,35 @@ func main() {
 		}
 	}
 
+	if r0.Netfault != nil {
+		fmt.Println()
+		var nf cluster.NetfaultStats
+		for _, run := range res.Runs {
+			nf.AddCounters(run.Netfault)
+		}
+		nt := report.NewTable("network faults (sums across replications)", "metric", "value")
+		nt.AddRow("dispatches sent", strconv.FormatInt(nf.Sent, 10))
+		nt.AddRow("copies lost / duplicated", fmt.Sprintf("%d / %d", nf.LostCopies, nf.DupCopies))
+		nt.AddRow("partition-blocked sends", strconv.FormatInt(nf.PartitionBlocked, 10))
+		nt.AddRow("dup / stale deliveries (deduped)", fmt.Sprintf("%d / %d", nf.DupDeliveries, nf.StaleDeliveries))
+		nt.AddRow("acks received / lost", fmt.Sprintf("%d / %d", nf.Acked, nf.AckLost))
+		nt.AddRow("ack timeouts / resubmits / client rescues",
+			fmt.Sprintf("%d / %d / %d", nf.AckTimeouts, nf.Resubmits, nf.ClientRescues))
+		nt.AddRow("jobs lost to the network", strconv.FormatInt(nf.LostNetwork, 10))
+		if nf.Crashes > 0 {
+			nt.AddRow("dispatcher crashes / downtime (s)",
+				fmt.Sprintf("%d / %s", nf.Crashes, report.F(nf.DownTime)))
+			nt.AddRow("downtime arrivals dropped / buffered / failover",
+				fmt.Sprintf("%d / %d / %d", nf.DownDropped, nf.DownBuffered, nf.FailoverDispatches))
+			nt.AddRow("buffer overflow / max len", fmt.Sprintf("%d / %d", nf.BufferOverflow, nf.MaxBufferLen))
+			nt.AddRow("checkpoints / plan restores / cold resets",
+				fmt.Sprintf("%d / %d / %d", nf.Checkpoints, nf.PlanRestores, nf.ColdResets))
+		}
+		if _, err := nt.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if pb != nil {
 		fmt.Println()
 		et := report.NewTable("lifecycle events (instrumented rep-0 pass)", "event", "count")
@@ -365,6 +411,15 @@ func main() {
 		}
 		if driftCfg != nil {
 			m.Config["drift"] = *driftFlag
+		}
+		if netfaultCfg != nil {
+			m.Config["netfault"] = *netfaultFlag
+			if *ackto != "" {
+				m.Config["ackto"] = *ackto
+			}
+			if *dstate != "" {
+				m.Config["dstate"] = *dstate
+			}
 		}
 		if adaptCfg != nil {
 			m.Config["replan"] = *replan

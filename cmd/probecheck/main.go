@@ -13,9 +13,14 @@
 // invariants: known event kinds, globally non-decreasing timestamps,
 // exactly one arrival per job (and first), per-job time monotonicity,
 // service starts only after dispatches, and at most one terminal event
-// (departure, kill or drop) per job with nothing after it. With
-// -require-terminal every arrived job must also reach a terminal event
-// — appropriate for drained runs, which all front ends produce.
+// (departure, kill or drop) per job with nothing after it. Network-layer
+// events are covered too: resubmissions and duplicate deliveries require
+// a prior dispatch, and a deduplicated stale delivery is the only event
+// permitted after a job's terminal — so a verified stream proves
+// exactly-once terminal accounting even under loss, duplication and
+// resubmission. With -require-terminal every arrived job must also
+// reach a terminal event — appropriate for drained runs, which all
+// front ends produce.
 //
 // Only JSONL streams are verified; CSV event files (an -events path
 // with a .csv suffix on the producing side) are for spreadsheet import
@@ -64,6 +69,15 @@ func main() {
 		}
 		fmt.Printf("events %s: ok (%d events, %d jobs, %d terminated)\n",
 			*eventsPath, st.Events, st.Jobs, st.Terminated)
+		if st.Resubmits > 0 || st.DupDeliveries > 0 {
+			// The dedup⇒exactly-once guarantee: jobs that saw duplicate
+			// deliveries still terminated exactly once (a second terminal —
+			// or anything but a dup-deliver after one — fails verification
+			// above), and stale copies landed after terminals without
+			// perturbing them.
+			fmt.Printf("events %s: network layer ok (%d resubmits, %d dup deliveries, %d stale, %d dup'd jobs terminated exactly once)\n",
+				*eventsPath, st.Resubmits, st.DupDeliveries, st.StaleDeliveries, st.DupJobsTerminated)
+		}
 	}
 }
 

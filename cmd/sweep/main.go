@@ -19,6 +19,11 @@
 // three extra tables report goodput, drops and deadline misses per
 // point.
 //
+// With -netfault set (plus -ackto/-dstate), the dispatcher→computer
+// control plane is unreliable across the whole sweep and two extra
+// tables report jobs lost to the network and resubmission counts per
+// point.
+//
 // Observability: -probe adds an instrumented pass per sweep cell and a
 // table of per-computer interarrival CVs (mean across computers) — the
 // paper's §3 burstiness measurement, showing round-robin splitting
@@ -41,6 +46,7 @@ import (
 	"heterosched/internal/cluster"
 	"heterosched/internal/drift"
 	"heterosched/internal/faults"
+	"heterosched/internal/netfault"
 	"heterosched/internal/probe"
 	"heterosched/internal/report"
 )
@@ -77,6 +83,9 @@ func main() {
 	driftFlag := flag.String("drift", "", "ground-truth drift specs, comma-separated: lstep:T:F, lramp:T0:T1:F, lcycle:P:A, sstep:T:F[:IDX], mis:RHOERR[:SPEEDERR]")
 	replan := flag.String("replan", "", "adaptive re-planning CHECK:TRIP:COOLDOWN[:BAND[:MINN]] (empty disables)")
 	estimator := flag.String("estimator", "", "online estimator win:N or ewma:ALPHA (default win:256; needs -replan)")
+	netfaultFlag := flag.String("netfault", "", "network-fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], crash:MTBF:MTTR, down:drop|buffer[:CAP]|failover, part:FROM:TO[:L1+L2+...]")
+	ackto := flag.String("ackto", "", "dispatch ack timeout TO[:BUDGET[:BASE:MAX[:JITTER]]]; required when the network can lose messages")
+	dstate := flag.String("dstate", "", "dispatcher state recovery after a crash: acks, ckpt:DT[:CLIENTTO] or cold[:RELEARN[:CLIENTTO]] (needs a crash item)")
 	flag.Parse()
 	start := time.Now()
 
@@ -129,6 +138,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	netfaultCfg, err := cli.NetfaultParams{
+		Netfault: *netfaultFlag, AckTO: *ackto, DState: *dstate,
+	}.Build(len(speeds))
+	if err != nil {
+		fatal(err)
+	}
 	names, factories, err := cli.ParsePolicies(*policiesFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -143,7 +158,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, pp)
+	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, netfaultCfg, pp)
 	if err != nil {
 		fatal(err)
 	}
@@ -180,6 +195,15 @@ func main() {
 		}
 		if adaptCfg != nil {
 			m.Config["replan"] = *replan
+		}
+		if netfaultCfg != nil {
+			m.Config["netfault"] = *netfaultFlag
+			if *ackto != "" {
+				m.Config["ackto"] = *ackto
+			}
+			if *dstate != "" {
+				m.Config["dstate"] = *dstate
+			}
 		}
 		if pp.SampleDT > 0 {
 			m.Config["sample_dt"] = pp.SampleDT
@@ -229,7 +253,7 @@ func sweepValues(from, to, step float64) []float64 {
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
 	ovCfg *cluster.OverloadConfig, driftCfg *drift.Config, adaptCfg *cluster.AdaptConfig,
-	pp cli.ProbeParams,
+	nfCfg *netfault.Config, pp cli.ProbeParams,
 ) ([]*report.Table, *report.Table, map[string]float64, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
@@ -248,6 +272,12 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		dropT = report.NewTable("jobs dropped (shed + retry budget + deadline kills)", headers...)
 		missT = report.NewTable("deadline misses (killed + late)", headers...)
 	}
+	withNetfault := nfCfg.Enabled()
+	var netT, resubT *report.Table
+	if withNetfault {
+		netT = report.NewTable("jobs lost to the network + dropped by the dispatcher (sum across replications)", headers...)
+		resubT = report.NewTable("network resubmissions (sum across replications)", headers...)
+	}
 	withProbe := pp.Active()
 	probeMetrics := map[string]float64{}
 	var skipped []string
@@ -265,6 +295,8 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		rowG := []string{report.F(rho)}
 		rowX := []string{report.F(rho)}
 		rowM := []string{report.F(rho)}
+		rowN := []string{report.F(rho)}
+		rowS := []string{report.F(rho)}
 		rowC := []string{report.F(rho)}
 		for k, f := range factories {
 			cfg := cluster.Config{
@@ -277,6 +309,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				Overload:    ovCfg,
 				Drift:       driftCfg,
 				Adapt:       adaptCfg,
+				Netfault:    nfCfg,
 			}
 			if cv == 1 {
 				cfg.ExponentialArrivals = true
@@ -298,6 +331,10 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 					rowX = append(rowX, "-")
 					rowM = append(rowM, "-")
 				}
+				if withNetfault {
+					rowN = append(rowN, "-")
+					rowS = append(rowS, "-")
+				}
 				if cvT != nil {
 					rowC = append(rowC, "-")
 				}
@@ -318,6 +355,14 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowG = append(rowG, strconv.FormatInt(ov.Goodput, 10))
 				rowX = append(rowX, strconv.FormatInt(ov.Dropped(), 10))
 				rowM = append(rowM, strconv.FormatInt(ov.DeadlineMisses, 10))
+			}
+			if withNetfault {
+				var nf cluster.NetfaultStats
+				for _, run := range res.Runs {
+					nf.AddCounters(run.Netfault)
+				}
+				rowN = append(rowN, strconv.FormatInt(nf.LostNetwork+nf.DownDropped, 10))
+				rowS = append(rowS, strconv.FormatInt(nf.Resubmits, 10))
 			}
 			if withProbe {
 				meanCV, err := probeCell(cfg, f, names[k], rho, pp)
@@ -344,6 +389,10 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			dropT.AddRow(rowX...)
 			missT.AddRow(rowM...)
 		}
+		if withNetfault {
+			netT.AddRow(rowN...)
+			resubT.AddRow(rowS...)
+		}
 		if cvT != nil {
 			cvT.AddRow(rowC...)
 		}
@@ -356,6 +405,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	if withOverload {
 		note += fmt.Sprintf("; overload protection: admission %s, queue cap %d", ovCfg.Admission, ovCfg.QueueCap)
 	}
+	if withNetfault {
+		note += "; network faults enabled (see the netfault tables)"
+	}
 	ratio.AddNote("%s", note)
 	for _, s := range skipped {
 		ratio.AddNote("skipped cell %s", s)
@@ -366,6 +418,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	}
 	if withOverload {
 		tables = append(tables, goodT, dropT, missT)
+	}
+	if withNetfault {
+		tables = append(tables, netT, resubT)
 	}
 	if cvT != nil {
 		tables = append(tables, cvT)

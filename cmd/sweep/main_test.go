@@ -67,7 +67,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil, nil, nil, cli.ProbeParams{})
+		5000, 2, 1, 1, nil, nil, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestRunSweepWithFaults(t *testing.T) {
 	}
 	factories = append(factories, f)
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
-		1e4, 2, 1, 1, fc, nil, nil, nil, cli.ProbeParams{})
+		1e4, 2, 1, 1, fc, nil, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunSweepWithOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
-		1e4, 2, 1, 1, nil, ovCfg, nil, nil, cli.ProbeParams{})
+		1e4, 2, 1, 1, nil, ovCfg, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestRunSweepWithProbe(t *testing.T) {
 	}
 	pp := cli.ProbeParams{Probe: true, Events: dir}
 	tables, _, metrics, err := runSweep([]float64{1, 2}, []float64{0.5}, names, factories,
-		1e4, 1, 1, 1, nil, nil, nil, nil, pp)
+		1e4, 1, 1, 1, nil, nil, nil, nil, nil, pp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRunSweepSkipsBadCells(t *testing.T) {
 	names = append(names, "BAD")
 	factories = append(factories, func() cluster.Policy { return badInitPolicy{} })
 	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil, nil, nil, cli.ProbeParams{})
+		5000, 2, 1, 1, nil, nil, nil, nil, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatalf("sweep aborted on a bad cell: %v", err)
 	}
@@ -238,7 +238,7 @@ func TestRunSweepWithDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
-		1e4, 2, 1, 1, nil, nil, driftCfg, adaptCfg, cli.ProbeParams{})
+		1e4, 2, 1, 1, nil, nil, driftCfg, adaptCfg, nil, cli.ProbeParams{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,5 +247,32 @@ func TestRunSweepWithDrift(t *testing.T) {
 	}
 	if s := tables[1].String(); strings.Contains(s, "skipped cell") {
 		t.Errorf("drift sweep produced skipped cells:\n%s", s)
+	}
+}
+
+// TestRunSweepWithNetfault: a netfault-enabled sweep grows the
+// network-loss and resubmission tables.
+func TestRunSweepWithNetfault(t *testing.T) {
+	nfCfg, err := cli.NetfaultParams{Netfault: "loss:0.1,lat:2", AckTO: "25:2"}.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, factories, err := cli.ParsePolicies("ORR", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
+		1e4, 2, 1, 1, nil, nil, nil, nil, nfCfg, cli.ProbeParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5 (3 metrics + net-lost + resubmits)", len(tables))
+	}
+	if s := tables[3].String(); !strings.Contains(s, "lost to the network") {
+		t.Errorf("missing net-lost table:\n%s", s)
+	}
+	if s := tables[4].String(); !strings.Contains(s, "resubmissions") {
+		t.Errorf("missing resubmission table:\n%s", s)
 	}
 }

@@ -81,6 +81,7 @@ func ParseDriftSpec(s string) (*drift.Config, error) {
 			continue
 		}
 		kind, rest, _ := strings.Cut(item, ":")
+		kind = strings.TrimSpace(kind)
 		parts := []string{}
 		if rest != "" {
 			parts = strings.Split(rest, ":")
@@ -201,6 +202,7 @@ func ParseEstimatorSpec(s string) (cfg cluster.EstimatorConfig, hasSpec bool, er
 		return cluster.EstimatorConfig{}, false, nil
 	}
 	kind, rest, ok := strings.Cut(s, ":")
+	kind = strings.TrimSpace(kind)
 	if !ok {
 		return cfg, false, fmt.Errorf("bad estimator spec %q (want win:N or ewma:ALPHA)", s)
 	}

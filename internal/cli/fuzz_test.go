@@ -80,6 +80,40 @@ func FuzzRunSpecs(f *testing.F) {
 	})
 }
 
+// FuzzNetfaultSpecs throws arbitrary strings at the network-fault flag
+// grammar (-netfault, -ackto, -dstate). The contract matches the other
+// fuzzers: Build never panics, every rejection carries a message, and
+// anything accepted passes netfault.Config.Validate for the given
+// cluster size and is actually enabled (never a non-nil inert config).
+func FuzzNetfaultSpecs(f *testing.F) {
+	f.Add("loss:0.05,dup:0.02,lat:3", "30:4:5:60:0.5", "", 4)
+	f.Add("lat:1:0,loss:0.2:3,crash:15000:100,down:buffer:256,part:1000:2000:0+1", "40", "ckpt:2500:500", 4)
+	f.Add("crash:5000:50,down:failover", "25:3", "cold:4000:600", 8)
+	f.Add("", "", "", 1)
+	f.Add("part:0:0,loss:1", "0", "acks:1", 0)
+	f.Add("loss::,down:buffer:,crash::", ":::::", "ckpt:", -1)
+	f.Add("lat:inf:9999999999,dup:nan", "1e308:9999999999999999999", "cold:-1", 3)
+	f.Fuzz(func(t *testing.T, nfSpec, ackSpec, dsSpec string, computers int) {
+		p := NetfaultParams{Netfault: nfSpec, AckTO: ackSpec, DState: dsSpec}
+		cfg, err := p.Build(computers)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from NetfaultParams.Build")
+			}
+			return
+		}
+		if cfg == nil {
+			return // all knobs disabled
+		}
+		if !cfg.Enabled() {
+			t.Fatalf("Build returned a disabled netfault config for %q %q %q (want nil)", nfSpec, ackSpec, dsSpec)
+		}
+		if verr := cfg.Validate(computers); verr != nil {
+			t.Fatalf("Build accepted %q %q %q but Validate rejects: %v", nfSpec, ackSpec, dsSpec, verr)
+		}
+	})
+}
+
 // FuzzDriftSpecs throws arbitrary strings at the drift/estimator/replan
 // flag grammar. The contract matches the other fuzzers: Build never
 // panics, every rejection carries a message, and anything accepted

@@ -1,0 +1,435 @@
+package cli
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"heterosched/internal/dist"
+	"heterosched/internal/netfault"
+)
+
+// This file parses the network/control-plane fault flags shared by the
+// front ends: -netfault, -ackto and -dstate. Like the drift parsers,
+// every spec parser returns a clean error on malformed input (they are
+// fuzzed in fuzz_test.go); nothing here panics.
+
+// NetfaultParams are the raw network-fault flag values.
+type NetfaultParams struct {
+	// Netfault is a comma-separated fault item list:
+	// loss:P[:LINK] | dup:P[:LINK] | lat:MEAN[:LINK] |
+	// crash:MTBF:MTTR | down:drop|buffer[:CAP]|failover |
+	// part:FROM:TO[:L1+L2+...]. Empty disables the layer.
+	Netfault string
+	// AckTO is "TO[:BUDGET[:BASE:MAX[:JITTER]]]": the ack timeout and
+	// resubmission loop. Empty disables ack tracking (only valid on
+	// loss-free networks).
+	AckTO string
+	// DState is "acks | ckpt:DT[:CLIENTTO] | cold[:RELEARN[:CLIENTTO]]":
+	// the dispatcher state-recovery policy. Requires a crash item.
+	DState string
+}
+
+// Build assembles the netfault configuration from the three flags and
+// validates it against the cluster size. All-empty parameters return
+// nil: no fault layer, bit-identical runs.
+func (p NetfaultParams) Build(computers int) (*netfault.Config, error) {
+	cfg, err := ParseNetfaultSpec(p.Netfault)
+	if err != nil {
+		return nil, fmt.Errorf("-netfault: %v", err)
+	}
+	ack, hasAck, err := ParseAckSpec(p.AckTO)
+	if err != nil {
+		return nil, fmt.Errorf("-ackto: %v", err)
+	}
+	ds, err := ParseDStateSpec(p.DState)
+	if err != nil {
+		return nil, fmt.Errorf("-dstate: %v", err)
+	}
+	if cfg == nil && !hasAck && ds == nil {
+		return nil, nil
+	}
+	if cfg == nil {
+		cfg = &netfault.Config{}
+	}
+	if hasAck {
+		cfg.Ack = ack
+	}
+	if ds != nil {
+		if cfg.Dispatcher == nil {
+			return nil, fmt.Errorf("-dstate: requires a crash item in -netfault (state recovery applies to a crashing dispatcher)")
+		}
+		cfg.Dispatcher.Recovery = ds.Recovery
+		if ds.CheckpointDT > 0 {
+			cfg.Dispatcher.CheckpointDT = ds.CheckpointDT
+		}
+		if ds.RelearnT > 0 {
+			cfg.Dispatcher.RelearnT = ds.RelearnT
+		}
+		if ds.ClientTO > 0 {
+			cfg.Dispatcher.ClientTO = ds.ClientTO
+		}
+	}
+	if err := cfg.Validate(computers); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// linkPatch is one link's partially-specified override; unset fields
+// inherit the default link model.
+type linkPatch struct {
+	lat, loss, dup *float64
+}
+
+// ParseNetfaultSpec parses a comma-separated network-fault item list:
+// link models (loss/dup/lat, with an optional per-link index), the
+// dispatcher crash renewal (crash:MTBF:MTTR), the downtime arrival
+// policy (down:...) and partition windows (part:...). Empty input
+// returns nil (no faults).
+func ParseNetfaultSpec(s string) (*netfault.Config, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	cfg := &netfault.Config{}
+	patches := map[int]*linkPatch{}
+	patchFor := func(idx int) *linkPatch {
+		p := patches[idx]
+		if p == nil {
+			p = &linkPatch{}
+			patches[idx] = p
+		}
+		return p
+	}
+	haveDown := false
+	haveDefault := map[string]bool{}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(item, ":")
+		kind = strings.TrimSpace(kind)
+		parts := []string{}
+		if rest != "" {
+			parts = strings.Split(rest, ":")
+		}
+		num := func(i int, what string) (float64, error) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad %s %q: %v", what, parts[i], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%s %v must be finite", what, v)
+			}
+			return v, nil
+		}
+		linkIdx := func(i int) (int, error) {
+			idx, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return 0, fmt.Errorf("bad link index %q: %v", parts[i], err)
+			}
+			if idx < 0 {
+				return 0, fmt.Errorf("link index %d must be >= 0 (omit for all links)", idx)
+			}
+			return idx, nil
+		}
+		switch kind {
+		case "loss", "dup", "lat":
+			if len(parts) != 1 && len(parts) != 2 {
+				return nil, fmt.Errorf("bad spec %q (want %s:VALUE[:LINK])", item, kind)
+			}
+			v, err := num(0, kind+" value")
+			if err != nil {
+				return nil, err
+			}
+			if kind == "lat" && v < 0 {
+				return nil, fmt.Errorf("latency mean %g is negative", v)
+			}
+			if len(parts) == 2 {
+				idx, err := linkIdx(1)
+				if err != nil {
+					return nil, err
+				}
+				p := patchFor(idx)
+				var field **float64
+				switch kind {
+				case "loss":
+					field = &p.loss
+				case "dup":
+					field = &p.dup
+				default:
+					field = &p.lat
+				}
+				if *field != nil {
+					return nil, fmt.Errorf("duplicate %s item for link %d", kind, idx)
+				}
+				vv := v
+				*field = &vv
+				break
+			}
+			if haveDefault[kind] {
+				return nil, fmt.Errorf("duplicate default %s item %q", kind, item)
+			}
+			haveDefault[kind] = true
+			switch kind {
+			case "loss":
+				cfg.Link.Loss = v
+			case "dup":
+				cfg.Link.Dup = v
+			default:
+				if v > 0 {
+					cfg.Link.Latency = dist.Exponential{MeanVal: v}
+				}
+			}
+		case "crash":
+			if cfg.Dispatcher != nil && cfg.Dispatcher.Uptime != nil {
+				return nil, fmt.Errorf("duplicate crash item %q", item)
+			}
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad spec %q (want crash:MTBF:MTTR)", item)
+			}
+			mtbf, err := num(0, "crash MTBF")
+			if err != nil {
+				return nil, err
+			}
+			mttr, err := num(1, "crash MTTR")
+			if err != nil {
+				return nil, err
+			}
+			if mtbf <= 0 || mttr <= 0 {
+				return nil, fmt.Errorf("crash MTBF %g and MTTR %g must be positive", mtbf, mttr)
+			}
+			// A down item earlier in the list may already have created the
+			// dispatcher; fill in the renewal process either way.
+			if cfg.Dispatcher == nil {
+				cfg.Dispatcher = &netfault.Dispatcher{}
+			}
+			cfg.Dispatcher.Uptime = dist.Exponential{MeanVal: mtbf}
+			cfg.Dispatcher.Downtime = dist.Exponential{MeanVal: mttr}
+		case "down":
+			if haveDown {
+				return nil, fmt.Errorf("duplicate down item %q", item)
+			}
+			haveDown = true
+			if len(parts) < 1 || len(parts) > 2 {
+				return nil, fmt.Errorf("bad spec %q (want down:drop, down:buffer[:CAP] or down:failover)", item)
+			}
+			pol, err := netfault.ParseDownPolicy(strings.TrimSpace(parts[0]))
+			if err != nil {
+				return nil, err
+			}
+			cap := 0
+			if len(parts) == 2 {
+				if pol != netfault.DownBuffer {
+					return nil, fmt.Errorf("down policy %v takes no capacity (only buffer does)", pol)
+				}
+				if cap, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+					return nil, fmt.Errorf("bad buffer capacity %q: %v", parts[1], err)
+				}
+				if cap < 1 {
+					return nil, fmt.Errorf("buffer capacity %d must be at least 1", cap)
+				}
+			}
+			// The crash item may come later in the list; the placeholder
+			// dispatcher it creates is checked for after the loop.
+			if cfg.Dispatcher == nil {
+				cfg.Dispatcher = &netfault.Dispatcher{}
+			}
+			cfg.Dispatcher.Down = pol
+			cfg.Dispatcher.BufferCap = cap
+		case "part":
+			if len(parts) != 2 && len(parts) != 3 {
+				return nil, fmt.Errorf("bad spec %q (want part:FROM:TO[:L1+L2+...])", item)
+			}
+			from, err := num(0, "partition start")
+			if err != nil {
+				return nil, err
+			}
+			to, err := num(1, "partition end")
+			if err != nil {
+				return nil, err
+			}
+			p := netfault.Partition{From: from, To: to}
+			if len(parts) == 3 {
+				for _, tok := range strings.Split(parts[2], "+") {
+					tok = strings.TrimSpace(tok)
+					if tok == "" {
+						return nil, fmt.Errorf("bad spec %q: empty link in list", item)
+					}
+					idx, err := strconv.Atoi(tok)
+					if err != nil {
+						return nil, fmt.Errorf("bad partition link %q: %v", tok, err)
+					}
+					if idx < 0 {
+						return nil, fmt.Errorf("partition link %d must be >= 0", idx)
+					}
+					p.Links = append(p.Links, idx)
+				}
+			}
+			cfg.Partitions = append(cfg.Partitions, p)
+		default:
+			return nil, fmt.Errorf("unknown netfault spec %q (want loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], crash:MTBF:MTTR, down:..., or part:FROM:TO[:L1+L2+...])", item)
+		}
+	}
+	// A down item without a crash item configures a dispatcher that never
+	// crashes — reject it as almost certainly a mistake.
+	if cfg.Dispatcher != nil && cfg.Dispatcher.Uptime == nil {
+		return nil, fmt.Errorf("down item requires a crash:MTBF:MTTR item")
+	}
+	// Materialize the per-link patches over the default link model.
+	if len(patches) > 0 {
+		cfg.PerLink = make(map[int]netfault.Link, len(patches))
+		for idx, p := range patches {
+			l := cfg.Link
+			if p.lat != nil {
+				if *p.lat < 0 {
+					return nil, fmt.Errorf("link %d latency mean %g is negative", idx, *p.lat)
+				}
+				if *p.lat > 0 {
+					l.Latency = dist.Exponential{MeanVal: *p.lat}
+				} else {
+					l.Latency = nil
+				}
+			}
+			if p.loss != nil {
+				l.Loss = *p.loss
+			}
+			if p.dup != nil {
+				l.Dup = *p.dup
+			}
+			cfg.PerLink[idx] = l
+		}
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return cfg, nil
+}
+
+// ParseAckSpec parses "TO[:BUDGET[:BASE:MAX[:JITTER]]]". Empty returns
+// hasSpec false (ack tracking disabled).
+func ParseAckSpec(s string) (ack netfault.Ack, hasSpec bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return netfault.Ack{}, false, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 1 && len(parts) != 2 && len(parts) != 4 && len(parts) != 5 {
+		return ack, false, fmt.Errorf("bad ack spec %q (want TO[:BUDGET[:BASE:MAX[:JITTER]]])", s)
+	}
+	num := func(i int, what string) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q: %v", what, parts[i], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%s %v must be finite", what, v)
+		}
+		return v, nil
+	}
+	if ack.Timeout, err = num(0, "ack timeout"); err != nil {
+		return ack, false, err
+	}
+	if !(ack.Timeout > 0) {
+		return ack, false, fmt.Errorf("ack timeout %v must be positive", ack.Timeout)
+	}
+	if len(parts) >= 2 {
+		budget, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return ack, false, fmt.Errorf("bad resubmission budget %q: %v", parts[1], err)
+		}
+		ack.Budget = budget
+	}
+	if len(parts) >= 4 {
+		if ack.BackoffBase, err = num(2, "backoff base"); err != nil {
+			return ack, false, err
+		}
+		if ack.BackoffMax, err = num(3, "backoff max"); err != nil {
+			return ack, false, err
+		}
+	}
+	if len(parts) == 5 {
+		if ack.Jitter, err = num(4, "backoff jitter"); err != nil {
+			return ack, false, err
+		}
+	}
+	return ack, true, nil
+}
+
+// DStateSpec is a parsed -dstate value: the recovery policy plus its
+// optional timing knobs (zeros mean the netfault defaults).
+type DStateSpec struct {
+	Recovery     netfault.Recovery
+	CheckpointDT float64
+	RelearnT     float64
+	ClientTO     float64
+}
+
+// ParseDStateSpec parses "acks", "ckpt:DT[:CLIENTTO]" or
+// "cold[:RELEARN[:CLIENTTO]]". Empty returns nil (keep the dispatcher's
+// default recovery, which is acks).
+func ParseDStateSpec(s string) (*DStateSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	kind = strings.TrimSpace(kind)
+	parts := []string{}
+	if rest != "" {
+		parts = strings.Split(rest, ":")
+	}
+	num := func(i int, what string) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s %q: %v", what, parts[i], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return 0, fmt.Errorf("%s %v must be positive and finite", what, v)
+		}
+		return v, nil
+	}
+	ds := &DStateSpec{}
+	var err error
+	switch kind {
+	case "acks":
+		if len(parts) != 0 {
+			return nil, fmt.Errorf("bad dstate spec %q (acks takes no arguments)", s)
+		}
+		ds.Recovery = netfault.RecoverAcks
+	case "ckpt", "checkpoint":
+		if len(parts) != 1 && len(parts) != 2 {
+			return nil, fmt.Errorf("bad dstate spec %q (want ckpt:DT[:CLIENTTO])", s)
+		}
+		ds.Recovery = netfault.RecoverCheckpoint
+		if ds.CheckpointDT, err = num(0, "checkpoint period"); err != nil {
+			return nil, err
+		}
+		if len(parts) == 2 {
+			if ds.ClientTO, err = num(1, "client timeout"); err != nil {
+				return nil, err
+			}
+		}
+	case "cold":
+		if len(parts) > 2 {
+			return nil, fmt.Errorf("bad dstate spec %q (want cold[:RELEARN[:CLIENTTO]])", s)
+		}
+		ds.Recovery = netfault.RecoverCold
+		if len(parts) >= 1 {
+			if ds.RelearnT, err = num(0, "relearn window"); err != nil {
+				return nil, err
+			}
+		}
+		if len(parts) == 2 {
+			if ds.ClientTO, err = num(1, "client timeout"); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown dstate spec %q (want acks, ckpt:DT[:CLIENTTO] or cold[:RELEARN[:CLIENTTO]])", s)
+	}
+	return ds, nil
+}

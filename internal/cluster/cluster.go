@@ -23,6 +23,7 @@ import (
 	"heterosched/internal/dist"
 	"heterosched/internal/drift"
 	"heterosched/internal/faults"
+	"heterosched/internal/netfault"
 	"heterosched/internal/probe"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
@@ -164,6 +165,14 @@ type Config struct {
 	// Replannable. With Adapt nil or disabled the run is bit-identical
 	// to a build without the adaptive subsystem.
 	Adapt *AdaptConfig
+	// Netfault, when non-nil and enabled, inserts the network/control-
+	// plane fault layer between the dispatcher and the computers:
+	// per-link dispatch latency, loss and duplication, dispatcher
+	// crash/restart, partitions, and the ack/resubmission reliability
+	// loop (see internal/netfault). With Netfault nil or disabled the
+	// run is bit-identical to a build without the subsystem: no extra
+	// random stream is derived and no extra events are scheduled.
+	Netfault *netfault.Config
 }
 
 // ReplayJob is one recorded arrival for trace-driven simulation.
@@ -256,6 +265,9 @@ func (c Config) validate() error {
 		}
 	}
 	if err := c.Adapt.Validate(); err != nil {
+		return err
+	}
+	if err := c.Netfault.Validate(len(c.Speeds)); err != nil {
 		return err
 	}
 	return nil
@@ -357,6 +369,9 @@ type Result struct {
 	// Adaptive holds the watchdog/re-planning counters and final
 	// estimates; nil unless Config.Adapt was enabled.
 	Adaptive *AdaptiveStats
+	// Netfault holds the network/control-plane fault counters; nil
+	// unless Config.Netfault was enabled.
+	Netfault *NetfaultStats
 
 	// The remaining fields are populated only when Config.Faults enabled
 	// failure injection (Availability is nil otherwise).
@@ -484,7 +499,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	// timers first, and a job with a live timer must not be recycled.
 	arena := sim.NewJobArena()
 	releaseJob := func(j *sim.Job) {
-		if j.TimeoutEvent.Active() || j.DeadlineEvent.Active() {
+		if j.TimeoutEvent.Active() || j.DeadlineEvent.Active() || j.AckEvent.Active() {
 			return // a pending timer still references the job
 		}
 		arena.Put(j)
@@ -519,6 +534,27 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		pb.Start(n, 0)
 	}
 
+	// Network/control-plane faults. Gated on an enabled config like
+	// every other subsystem: a disabled config derives no substreams,
+	// schedules no events and leaves the dispatch path untouched, so
+	// netfault-off runs stay bit-identical. Construction happens here
+	// (stream derivation is order-independent); the closures are wired
+	// below once the servers and the other layers exist.
+	var nf *netfaultRun
+	if cfg.Netfault.Enabled() {
+		nf = newNetfaultRun(en, cfg.Netfault, n, root, cfg.Duration)
+		nf.arena = arena
+		nf.speeds = ctx.Speeds
+		nf.rho = ctx.Utilization
+		if rp, ok := policy.(Replannable); ok {
+			nf.replan = rp
+		}
+		if pb != nil {
+			nf.pb = pb
+			pb.StartNetfault(0)
+		}
+	}
+
 	var respTime, respRatio stats.Accumulator
 	var respTimeDeg, respRatioDeg stats.Accumulator
 	// Response ratios range from 1/maxSpeed (an undisturbed job on the
@@ -550,6 +586,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			return
 		}
 		j.Finalized = true
+		if nf != nil {
+			nf.jobDone(j)
+		}
 		if pb != nil {
 			kind, cause := o.probeEvent()
 			pb.Emit(probe.Event{T: en.Now(), Kind: kind, Job: j.ID, Target: j.Target, Cause: cause, Attempt: j.Attempts + j.Retries})
@@ -682,6 +721,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		devTracker = newDeviationTracker(fp.Fractions(), cfg.DeviationInterval)
 	}
 
+	// sendTo routes a dispatched job towards a computer: straight into
+	// the servers (deliverTo, below) normally, or through the netfault
+	// transit stage when the fault layer is active. Declared ahead of
+	// the failure-injection block because the requeue closure captures
+	// it; assigned once the servers exist.
+	var sendTo func(target int, j *sim.Job)
+
 	// Failure injection. Everything here is gated on an enabled fault
 	// config so that fault-free runs stay bit-identical: no extra stream
 	// derivation, no extra events, no changed dispatch path.
@@ -710,7 +756,15 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				return
 			}
 			if fa, ok := policy.(FaultAware); ok {
-				fa.UpSetChanged(inj.UpSet())
+				up := inj.UpSet()
+				if nf != nil {
+					// A cut link masks its computer just like a failure:
+					// the dispatcher cannot reach it either way.
+					for i := range up {
+						up[i] = up[i] && nf.linkUp(i)
+					}
+				}
+				fa.UpSetChanged(up)
 			}
 		}
 		onChange := func(int) {
@@ -727,6 +781,11 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		// re-enter the job-fraction, deviation, or arrival counts: those
 		// track the scheduler's first dispatch decision per job.
 		requeue := func(j *sim.Job) {
+			if nf != nil {
+				// The job verifiably left its failed computer: clear the
+				// delivery state so its re-dispatch is not deduplicated.
+				nf.reclaim(j)
+			}
 			if ov != nil {
 				// Route through the overload dispatcher so requeued jobs
 				// respect breakers, rejection and timeouts too.
@@ -745,10 +804,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				}
 				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Attempt: j.Attempts + j.Retries, Mask: mask})
 			}
-			inj.Arrive(target, j)
-			if pb != nil {
-				pb.SetQueueLen(en.Now(), target, servers[target].InService())
-			}
+			sendTo(target, j)
 		}
 		hooks := faults.Hooks{
 			OnFail: func(i int) {
@@ -808,7 +864,8 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		maskBuf := make([]byte, n)
 		maskFn = func() string {
 			for i := range maskBuf {
-				up := (inj == nil || inj.Up(i)) && ov.breakerClosed(i)
+				up := (inj == nil || inj.Up(i)) && ov.breakerClosed(i) &&
+					(nf == nil || nf.linkUp(i))
 				if up {
 					maskBuf[i] = '1'
 				} else {
@@ -817,6 +874,32 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 			return string(maskBuf)
 		}
+	}
+
+	// deliverTo physically lands a job at computer target: through the
+	// fault injector when one is active, else straight into the server.
+	// It is the terminal stage of every dispatch path — sendTo is either
+	// this (reliable network) or the netfault transit stage ending here.
+	deliverTo := func(target int, j *sim.Job) {
+		if pb != nil {
+			pb.NoteDelivery(target, en.Now())
+		}
+		if inj != nil {
+			inj.Arrive(target, j)
+		} else {
+			if pb != nil && !j.Finalized {
+				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: target})
+			}
+			servers[target].Arrive(j)
+		}
+		if pb != nil {
+			pb.SetQueueLen(en.Now(), target, servers[target].InService())
+		}
+	}
+	sendTo = deliverTo
+	if nf != nil {
+		nf.deliver = deliverTo
+		sendTo = func(target int, j *sim.Job) { nf.send(target, j, true) }
 	}
 
 	if ov != nil {
@@ -844,19 +927,103 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				j.Degraded = true
 			}
 		}
-		ov.arrive = func(target int, j *sim.Job) {
-			if inj != nil {
-				inj.Arrive(target, j)
-			} else {
-				if pb != nil && !j.Finalized {
-					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: target})
-				}
-				servers[target].Arrive(j)
+		ov.arrive = sendTo
+		if nf != nil {
+			ov.netUp = nf.linkUp
+			ov.netReclaim = nf.reclaim
+		}
+	}
+
+	// Wire the netfault layer's remaining closures now that the servers
+	// and the other layers exist, and schedule its autonomous events.
+	if nf != nil {
+		nf.departed = func(j *sim.Job) {
+			if ov != nil && j.Probe {
+				// An unacked breaker probe counts as a failed probe.
+				ov.probeFailed(j)
+				return
 			}
+			policy.Departed(j)
+		}
+		nf.redispatch = func(j *sim.Job) {
+			if ov != nil {
+				ov.dispatch(j, false)
+				return
+			}
+			target := policy.Select(j)
+			if target < 0 || target >= n {
+				panic(fmt.Sprintf("cluster: policy %s selected invalid computer %d", policy.Name(), target))
+			}
+			j.Target = target
 			if pb != nil {
-				pb.SetQueueLen(en.Now(), target, servers[target].InService())
+				var mask string
+				if maskFn != nil {
+					mask = maskFn()
+				}
+				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Attempt: j.Attempts + j.Retries, Mask: mask})
+			}
+			sendTo(target, j)
+		}
+		nf.giveUp = func(j *sim.Job) {
+			if ov != nil {
+				ov.jobLost(j)
+			}
+			inSystem--
+			trackSys()
+			finalize(j, OutcomeLostNetwork)
+			releaseJob(j)
+		}
+		nf.dropDown = func(j *sim.Job) {
+			// Rejected before entering the system: no in-system charge,
+			// no timers armed.
+			finalize(j, OutcomeDroppedDispatcher)
+			releaseJob(j)
+		}
+		nf.reachable = func(i int) bool {
+			return nf.linkUp(i) && (inj == nil || inj.Up(i)) && ov.breakerClosed(i)
+		}
+		nf.notifyMask = func() {
+			if ov != nil {
+				ov.notifyUpSet()
+				return
+			}
+			if fa, ok := policy.(FaultAware); ok {
+				up := make([]bool, n)
+				for i := range up {
+					up[i] = (inj == nil || inj.Up(i)) && nf.linkUp(i)
+				}
+				fa.UpSetChanged(up)
 			}
 		}
+		nf.failoverSend = func(j *sim.Job, target int) {
+			// The backup's routing decision is the job's first dispatch:
+			// it enters the books like a policy decision, but bypasses
+			// admission control and deadline stamping (the backup is a
+			// last-resort router, not a dispatcher).
+			j.Target = target
+			if j.Arrival >= warmup {
+				counts[target]++
+				observed++
+			}
+			if devTracker != nil {
+				devTracker.observe(j.Arrival, target)
+			}
+			if pb != nil {
+				var mask string
+				if maskFn != nil {
+					mask = maskFn()
+				}
+				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Cause: "failover", Mask: mask})
+				pb.NoteSubstream(target, j.Arrival)
+			}
+			if inj != nil && inj.AnyDown() {
+				j.Degraded = true
+			}
+			inSystem++
+			trackSys()
+			nf.send(target, j, false)
+		}
+		nf.start()
 	}
 
 	if cfg.Adapt.Enabled() {
@@ -873,20 +1040,12 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	// come from the arena: a recycled Job is field-identical to a freshly
 	// allocated one (Put zeroes every exported field), so reuse cannot
 	// change simulation results.
-	admit := func(size float64) {
-		now := en.Now()
-		generated++
-		if ad != nil {
-			ad.noteArrival(now, size)
-		}
-		j := arena.Get()
-		j.ID = generated
-		j.Size = size
-		j.Arrival = now
-		j.Target = -1
-		if pb != nil {
-			pb.Emit(probe.Event{T: now, Kind: probe.EvArrival, Job: j.ID, Target: -1})
-		}
+	// routeJob runs a job through the dispatcher proper: admission
+	// control, policy selection and delivery. Called at arrival time
+	// normally, and at restart time for jobs buffered while the
+	// dispatcher was down (hence the en.Now()/j.Arrival distinction:
+	// events are stamped now, statistics key on the arrival).
+	routeJob := func(j *sim.Job) {
 		if ov != nil {
 			if !ov.admitJob(j) {
 				finalize(j, OutcomeRejectedAdmission)
@@ -908,32 +1067,45 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			observed++
 		}
 		if devTracker != nil {
-			devTracker.observe(now, target)
+			devTracker.observe(j.Arrival, target)
 		}
 		if pb != nil {
 			var mask string
 			if maskFn != nil {
 				mask = maskFn()
 			}
-			pb.Emit(probe.Event{T: now, Kind: probe.EvDispatch, Job: j.ID, Target: target, Mask: mask})
+			pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Mask: mask})
 			pb.NoteSubstream(target, j.Arrival)
 		}
 		inSystem++
 		trackSys()
-		if inj != nil {
-			if inj.AnyDown() {
-				j.Degraded = true
-			}
-			inj.Arrive(target, j)
-		} else {
-			if pb != nil {
-				pb.Emit(probe.Event{T: now, Kind: probe.EvServiceStart, Job: j.ID, Target: target})
-			}
-			servers[target].Arrive(j)
+		if inj != nil && inj.AnyDown() {
+			j.Degraded = true
 		}
+		sendTo(target, j)
+	}
+	if nf != nil {
+		nf.routeJob = routeJob
+	}
+
+	admit := func(size float64) {
+		now := en.Now()
+		generated++
+		if ad != nil {
+			ad.noteArrival(now, size)
+		}
+		j := arena.Get()
+		j.ID = generated
+		j.Size = size
+		j.Arrival = now
+		j.Target = -1
 		if pb != nil {
-			pb.SetQueueLen(now, target, servers[target].InService())
+			pb.Emit(probe.Event{T: now, Kind: probe.EvArrival, Job: j.ID, Target: -1})
 		}
+		if nf != nil && nf.interceptArrival(j) {
+			return // dropped, buffered or failed over while down
+		}
+		routeJob(j)
 	}
 
 	if len(cfg.Replay) > 0 {
@@ -1056,6 +1228,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	}
 	if ad != nil {
 		res.Adaptive = ad.finish()
+	}
+	if nf != nil {
+		res.Netfault = nf.finish()
 	}
 	if inj != nil {
 		inj.Finish(endTime)

@@ -30,6 +30,14 @@ const (
 	// OutcomeLostFailure is a job discarded by the fault machinery (fate
 	// Lost, or the failure-requeue budget exhausted).
 	OutcomeLostFailure
+	// OutcomeLostNetwork is a job the network-fault layer gave up on: its
+	// dispatch was never accepted by any computer (lost or blocked on
+	// every transmission) and the resubmission budget is exhausted.
+	OutcomeLostNetwork
+	// OutcomeDroppedDispatcher is a job that arrived while the dispatcher
+	// was crashed and was rejected by the downtime policy (drop, or buffer
+	// overflow).
+	OutcomeDroppedDispatcher
 
 	numOutcomes
 )
@@ -42,6 +50,8 @@ var outcomeNames = [numOutcomes]string{
 	"retry-dropped",
 	"rejected",
 	"failure-lost",
+	"net-lost",
+	"dispatcher-drop",
 }
 
 // String returns the outcome's wire name, used in traces and manifests.
@@ -86,6 +96,10 @@ func (o Outcome) probeEvent() (probe.EventKind, string) {
 		return probe.EvDrop, "admission"
 	case OutcomeLostFailure:
 		return probe.EvDrop, "failure"
+	case OutcomeLostNetwork:
+		return probe.EvDrop, "network"
+	case OutcomeDroppedDispatcher:
+		return probe.EvDrop, "dispatcher-down"
 	default:
 		return probe.EvDrop, o.String()
 	}

@@ -313,6 +313,12 @@ type overloadRun struct {
 	tb       *dispatch.TokenBucket
 	brk      []*dispatch.Breaker
 	faultsUp []bool // availability mask from the fault injector; nil = all up
+	// netUp reports whether computer i's dispatch link is uncut; nil
+	// without the netfault layer. netReclaim clears a job's network
+	// delivery state when the dispatcher verifiably pulls it back (a
+	// timeout removal), so its re-dispatch is not deduplicated away.
+	netUp      func(i int) bool
+	netReclaim func(j *sim.Job)
 	// deadlines is the named random substream for deadline draws; derived
 	// by Run only when a deadline distribution is configured, so runs
 	// without deadlines consume no extra randomness.
@@ -454,6 +460,9 @@ func (ov *overloadRun) timeout(j *sim.Job) {
 	j.TimeoutEvent = sim.Event{}
 	if !ov.removers[j.Target].Remove(j) {
 		return
+	}
+	if ov.netReclaim != nil {
+		ov.netReclaim(j)
 	}
 	ov.stats.Timeouts++
 	if ov.pb != nil {
@@ -741,6 +750,9 @@ func (ov *overloadRun) notifyUpSet() {
 	up := make([]bool, ov.n)
 	for i := range up {
 		u := ov.faultsUp == nil || ov.faultsUp[i]
+		if u && ov.netUp != nil && !ov.netUp(i) {
+			u = false
+		}
 		if u && ov.brk != nil && ov.brk[i].State() != dispatch.BreakerClosed {
 			u = false
 		}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"heterosched/internal/netfault"
+)
+
+// TestExtNetfaults runs the network-fault study at a reduced scale and
+// checks the structural invariants the full-scale acceptance run locks
+// quantitatively: every Part A cell measured a delivered CV, crashes
+// actually happened in Part B, and the plan-recovery counters match
+// each policy's mechanism (cold resets for cold, restores for
+// checkpoint/acks).
+func TestExtNetfaults(t *testing.T) {
+	res, err := ExtNetfaults(Options{Scale: 0.02, Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ORRCV) != len(res.Scales) || len(res.ORANCV) != len(res.Scales) {
+		t.Fatalf("CV rows %d/%d for %d scales", len(res.ORRCV), len(res.ORANCV), len(res.Scales))
+	}
+	for i, s := range res.Scales {
+		if !(res.ORRCV[i] > 0) || !(res.ORANCV[i] > 0) {
+			t.Errorf("scale %q: delivered CV not measured (ORR %v, ORAN %v)", s.Label, res.ORRCV[i], res.ORANCV[i])
+		}
+	}
+	// On a perfect network ORR delivers the smoother per-computer stream
+	// (the §3 property the study erodes).
+	if !(res.ORRCV[0] < res.ORANCV[0]) {
+		t.Errorf("fault-free ORR CV %v not below ORAN %v", res.ORRCV[0], res.ORANCV[0])
+	}
+	last := len(res.Scales) - 1
+	if res.Resubmits[0] != 0 || res.DupCopies[0] != 0 || res.Lost[0] != 0 {
+		t.Errorf("fault-free scale reports network activity: %d resubmits, %d dups, %d lost",
+			res.Resubmits[0], res.DupCopies[0], res.Lost[0])
+	}
+	if res.Resubmits[last] == 0 || res.DupCopies[last] == 0 {
+		t.Errorf("harshest scale exercised no reliability machinery: %d resubmits, %d dups",
+			res.Resubmits[last], res.DupCopies[last])
+	}
+	for i := range res.Scales {
+		if res.Terminals[i] == 0 {
+			t.Errorf("scale %q recorded no terminals", res.Scales[i].Label)
+		}
+	}
+
+	if !(res.BaselineMean.Mean > 0) {
+		t.Fatalf("baseline mean = %v", res.BaselineMean.Mean)
+	}
+	for i, rec := range res.Recoveries {
+		if res.RecCrashes[i] == 0 {
+			t.Errorf("recovery %v: no crashes injected", rec)
+		}
+		if !(res.RecMean[i].Mean > 0) {
+			t.Errorf("recovery %v: mean = %v", rec, res.RecMean[i].Mean)
+		}
+		switch rec {
+		case netfault.RecoverCold:
+			if res.RecColds[i] != res.RecCrashes[i] {
+				t.Errorf("cold: %d resets for %d crashes", res.RecColds[i], res.RecCrashes[i])
+			}
+		case netfault.RecoverCheckpoint:
+			if res.RecColds[i] != 0 {
+				t.Errorf("%v: %d cold resets", rec, res.RecColds[i])
+			}
+			if res.RecRestores[i] != res.RecCrashes[i] {
+				t.Errorf("%v: %d restores for %d crashes", rec, res.RecRestores[i], res.RecCrashes[i])
+			}
+		case netfault.RecoverAcks:
+			// Ack reconstruction brings the plan back as-is: no cold
+			// resets and no re-solves.
+			if res.RecColds[i] != 0 || res.RecRestores[i] != 0 {
+				t.Errorf("%v: %d cold resets, %d restores", rec, res.RecColds[i], res.RecRestores[i])
+			}
+		}
+	}
+
+	tables := res.Render()
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	a, b := tables[0].String(), tables[1].String()
+	for _, want := range []string{"delivered interarrival CV", "ORR/ORAN", "high (15% loss, 5% dup, lat 40)", "exactly once"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("Part A table missing %q:\n%s", want, a)
+		}
+	}
+	for _, want := range []string{"crash recovery", "fault-free baseline", "cold", "checkpoint", "acks", "vs baseline %"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("Part B table missing %q:\n%s", want, b)
+		}
+	}
+}

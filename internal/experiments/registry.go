@@ -115,6 +115,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: r.Render()}, nil
 	},
+	"ext-netfaults": func(o Options) (*Output, error) {
+		r, err := ExtNetfaults(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

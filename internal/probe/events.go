@@ -53,11 +53,31 @@ const (
 	// EvKill is a terminal deadline kill.
 	EvKill
 	// EvDrop is a terminal loss: cause "overflow" (bounded-queue shed),
-	// "retry-budget", "failure" (fault machinery) or "admission" (token
-	// bucket).
+	// "retry-budget", "failure" (fault machinery), "admission" (token
+	// bucket), "network" (resubmission budget exhausted) or
+	// "dispatcher-down" (dropped while the dispatcher was crashed).
 	EvDrop
+	// EvNetLoss is a dispatch (or duplicate) copy lost in transit, or
+	// blocked by a partition (cause "loss", "partition" or "ack-loss";
+	// target = link).
+	EvNetLoss
+	// EvResubmit is a network-layer retransmission after an ack timeout or
+	// client-timeout rescue (cause "ack-timeout" or "client"; value =
+	// backoff delay in seconds; attempt = resubmit count).
+	EvResubmit
+	// EvDupDeliver is a duplicate or stale delivery deduplicated at the
+	// computer (cause "dup" while the original is live, "stale" after the
+	// job already reached a terminal outcome). Stale duplicates are the
+	// one event kind allowed after a job's terminal event.
+	EvDupDeliver
+	// EvDispatcherDown is the dispatcher crashing (system-level, no job).
+	EvDispatcherDown
+	// EvDispatcherUp is the dispatcher restarting (cause = recovery
+	// policy; value = age in seconds of the recovered dispatch state, -1
+	// when cold-reset recovered nothing).
+	EvDispatcherUp
 
-	numEventKinds = int(EvDrop) + 1
+	numEventKinds = int(EvDispatcherUp) + 1
 )
 
 // kindNames are the wire names, stable across releases (they appear in
@@ -66,6 +86,7 @@ var kindNames = [numEventKinds]string{
 	"arrival", "dispatch", "reject-full", "reject-breaker", "timeout",
 	"retry", "service-start", "evict", "resume", "fail", "repair",
 	"breaker", "sample", "departure", "kill", "drop",
+	"net-loss", "resubmit", "dup-deliver", "dispatcher-down", "dispatcher-up",
 }
 
 // String returns the event kind's wire name.

@@ -57,6 +57,21 @@ type Probe struct {
 	lastBusy    []float64
 	lastSample  float64
 
+	// Delivered-stream statistics: gaps between successive *deliveries*
+	// at each computer. With a perfect network these track the dispatch
+	// substreams; transit latency, loss and resubmission jitter them,
+	// which is exactly the degradation ext-netfaults measures.
+	lastDelivery  []float64
+	deliveredGaps []stats.Accumulator
+
+	// Netfault series, allocated by StartNetfault only when the
+	// network-fault layer is active (inert otherwise).
+	linkInFlight []*Series
+	linkLoss     []*Counter
+	linkDup      []*Counter
+	dispUp       *Series
+	stateAge     *Series
+
 	err error
 }
 
@@ -123,6 +138,36 @@ func (p *Probe) Start(n int, now float64) {
 	p.inSystem = p.reg.Series("in_system")
 	p.inSystem.Update(now, 0)
 	p.lastSample = now
+	p.lastDelivery = make([]float64, n)
+	p.deliveredGaps = make([]stats.Accumulator, n)
+	for i := range p.lastDelivery {
+		p.lastDelivery[i] = math.NaN()
+	}
+}
+
+// StartNetfault sizes the network-fault metric vectors: per-link
+// in-flight, loss and duplication, plus dispatcher up/state-age series.
+// The simulation calls it after Start, only when the netfault layer is
+// active; otherwise these series never exist.
+func (p *Probe) StartNetfault(now float64) {
+	if !p.opts.Metrics {
+		return
+	}
+	n := p.n
+	p.linkInFlight = make([]*Series, n)
+	p.linkLoss = make([]*Counter, n)
+	p.linkDup = make([]*Counter, n)
+	for i := 0; i < n; i++ {
+		is := strconv.Itoa(i)
+		p.linkInFlight[i] = p.reg.Series("link_inflight." + is)
+		p.linkInFlight[i].Update(now, 0)
+		p.linkLoss[i] = p.reg.Counter("net.loss." + is)
+		p.linkDup[i] = p.reg.Counter("net.dup." + is)
+	}
+	p.dispUp = p.reg.Series("dispatcher_up")
+	p.dispUp.Update(now, 1)
+	p.stateAge = p.reg.Series("dispatcher_state_age")
+	p.stateAge.Update(now, 0)
 }
 
 // Emit records one lifecycle event: the per-kind counter always, the
@@ -209,6 +254,72 @@ func (p *Probe) InterarrivalCV(i int) (cv float64, gaps int64) {
 	return p.interGaps[i].CV(), p.interGaps[i].N()
 }
 
+// NoteDelivery records a job delivery at computer i at time t, feeding
+// the delivered-interarrival statistics. Delivery times are event times,
+// so calls arrive in non-decreasing order.
+func (p *Probe) NoteDelivery(i int, t float64) {
+	if p.deliveredGaps == nil {
+		return
+	}
+	if last := p.lastDelivery[i]; !math.IsNaN(last) {
+		p.deliveredGaps[i].Add(t - last)
+	}
+	p.lastDelivery[i] = t
+}
+
+// DeliveredCV returns the coefficient of variation of computer i's
+// delivered interarrival gaps and the number of gaps observed. With a
+// perfect control plane this matches the dispatch substream; network
+// latency, loss and resubmission inflate it.
+func (p *Probe) DeliveredCV(i int) (cv float64, gaps int64) {
+	if p.deliveredGaps == nil || i < 0 || i >= len(p.deliveredGaps) {
+		return 0, 0
+	}
+	return p.deliveredGaps[i].CV(), p.deliveredGaps[i].N()
+}
+
+// SetLinkInFlight updates link i's in-flight dispatch-copy series.
+func (p *Probe) SetLinkInFlight(t float64, i, v int) {
+	if p.linkInFlight != nil {
+		p.linkInFlight[i].Update(t, float64(v))
+	}
+}
+
+// NoteLinkLoss counts one lost (or partition-blocked) copy on link i.
+func (p *Probe) NoteLinkLoss(i int) {
+	if p.linkLoss != nil {
+		p.linkLoss[i].Inc()
+	}
+}
+
+// NoteLinkDup counts one duplicated dispatch on link i.
+func (p *Probe) NoteLinkDup(i int) {
+	if p.linkDup != nil {
+		p.linkDup[i].Inc()
+	}
+}
+
+// SetDispatcherUp updates the dispatcher up/down series (1 = up).
+func (p *Probe) SetDispatcherUp(t float64, up bool) {
+	if p.dispUp != nil {
+		v := 0.0
+		if up {
+			v = 1
+		}
+		p.dispUp.Update(t, v)
+	}
+}
+
+// NoteStateAge records the age of the dispatch state recovered at a
+// restart (0 for reconstruct-from-acks, now−checkpoint for checkpoint
+// recovery, -1 when cold reset recovered nothing).
+func (p *Probe) NoteStateAge(t, age float64) {
+	if p.stateAge != nil {
+		p.stateAge.Update(t, age)
+		p.stateAge.AddPoint(t, age)
+	}
+}
+
 // Sample takes one cadence sample at time t: per-computer queue length
 // and cumulative busy time (for the utilization-over-interval series) and
 // the in-system count. The simulation passes reused slices; Sample copies
@@ -255,6 +366,16 @@ func (p *Probe) FinishRun(t float64) {
 		p.reg.Gauge("interarrival_gaps." + strconv.Itoa(i)).Set(float64(gaps))
 	}
 	p.inSystem.Finish(t)
+	if p.linkInFlight != nil {
+		for i := 0; i < p.n; i++ {
+			p.linkInFlight[i].Finish(t)
+			cv, gaps := p.DeliveredCV(i)
+			p.reg.Gauge("delivered_cv." + strconv.Itoa(i)).Set(cv)
+			p.reg.Gauge("delivered_gaps." + strconv.Itoa(i)).Set(float64(gaps))
+		}
+		p.dispUp.Finish(t)
+		p.stateAge.Finish(t)
+	}
 }
 
 // KindCount is one row of the events-by-kind summary.

@@ -143,6 +143,13 @@ func TestVerifyJSONLViolations(t *testing.T) {
 		{"time backwards", "{\"t\":5,\"kind\":\"arrival\",\"job\":1}\n{\"t\":4,\"kind\":\"arrival\",\"job\":2}"},
 		{"service before dispatch", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"service-start\",\"job\":1,\"target\":0}"},
 		{"unknown kind", `{"t":1,"kind":"warp","job":1}`},
+		{"resubmit before dispatch", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"resubmit\",\"job\":1,\"cause\":\"ack-timeout\"}"},
+		{"dup before dispatch", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n{\"t\":2,\"kind\":\"dup-deliver\",\"job\":1,\"target\":0,\"cause\":\"dup\"}"},
+		{"second terminal after stale dup", "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n" +
+			"{\"t\":2,\"kind\":\"dispatch\",\"job\":1,\"target\":0}\n" +
+			"{\"t\":3,\"kind\":\"departure\",\"job\":1,\"target\":0}\n" +
+			"{\"t\":4,\"kind\":\"dup-deliver\",\"job\":1,\"target\":0,\"cause\":\"stale\"}\n" +
+			"{\"t\":5,\"kind\":\"departure\",\"job\":1,\"target\":0}"},
 	}
 	for _, c := range cases {
 		if _, err := VerifyJSONL(strings.NewReader(c.stream), false); err == nil {
@@ -157,6 +164,41 @@ func TestVerifyJSONLViolations(t *testing.T) {
 	}
 	if _, err := VerifyJSONL(strings.NewReader(open), true); err == nil {
 		t.Error("unterminated job accepted with requireTerminal")
+	}
+}
+
+// TestVerifyJSONLNetworkEvents: the reliability-loop event kinds verify
+// cleanly in their legal order — a resubmit after a lost dispatch, a
+// deduplicated duplicate before the terminal, and a stale delivery as
+// the only event allowed after it — and the stats expose the
+// dedup-implies-exactly-once accounting.
+func TestVerifyJSONLNetworkEvents(t *testing.T) {
+	stream := "{\"t\":1,\"kind\":\"arrival\",\"job\":1}\n" +
+		"{\"t\":1,\"kind\":\"dispatch\",\"job\":1,\"target\":0}\n" +
+		"{\"t\":2,\"kind\":\"net-loss\",\"job\":1,\"target\":0,\"cause\":\"loss\"}\n" +
+		"{\"t\":30,\"kind\":\"resubmit\",\"job\":1,\"cause\":\"ack-timeout\",\"attempt\":1,\"value\":5}\n" +
+		"{\"t\":36,\"kind\":\"dispatch\",\"job\":1,\"target\":0}\n" +
+		"{\"t\":37,\"kind\":\"dup-deliver\",\"job\":1,\"target\":0,\"cause\":\"dup\"}\n" +
+		"{\"t\":38,\"kind\":\"service-start\",\"job\":1,\"target\":0}\n" +
+		"{\"t\":50,\"kind\":\"departure\",\"job\":1,\"target\":0}\n" +
+		"{\"t\":55,\"kind\":\"dup-deliver\",\"job\":1,\"target\":0,\"cause\":\"stale\"}\n" +
+		"{\"t\":60,\"kind\":\"dispatcher-down\",\"target\":-1}\n" +
+		"{\"t\":70,\"kind\":\"dispatcher-up\",\"target\":-1,\"cause\":\"checkpoint\",\"value\":12}"
+	st, err := VerifyJSONL(strings.NewReader(stream), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 1 || st.Terminated != 1 {
+		t.Errorf("jobs %d terminated %d, want 1/1", st.Jobs, st.Terminated)
+	}
+	if st.Resubmits != 1 || st.DupDeliveries != 2 || st.StaleDeliveries != 1 {
+		t.Errorf("resubmits %d dup %d stale %d, want 1/2/1", st.Resubmits, st.DupDeliveries, st.StaleDeliveries)
+	}
+	if st.DupJobsTerminated != 1 {
+		t.Errorf("DupJobsTerminated = %d, want 1", st.DupJobsTerminated)
+	}
+	if st.ByKind["net-loss"] != 1 || st.ByKind["dispatcher-down"] != 1 || st.ByKind["dispatcher-up"] != 1 {
+		t.Errorf("ByKind = %v", st.ByKind)
 	}
 }
 

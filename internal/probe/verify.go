@@ -15,6 +15,17 @@ type VerifyStats struct {
 	Jobs int64
 	// Terminated is the number of jobs with a terminal event.
 	Terminated int64
+	// Resubmits counts network-layer retransmission events.
+	Resubmits int64
+	// DupDeliveries counts deduplicated deliveries, including stale ones.
+	DupDeliveries int64
+	// StaleDeliveries counts duplicate deliveries that landed after the
+	// job's terminal event (the only event kind allowed there).
+	StaleDeliveries int64
+	// DupJobsTerminated counts jobs that saw at least one duplicate
+	// delivery and still reached exactly one terminal event — the
+	// dedup-implies-exactly-once guarantee, made visible.
+	DupJobsTerminated int64
 	// ByKind counts events per kind wire name.
 	ByKind map[string]int64
 }
@@ -37,6 +48,7 @@ type jobState struct {
 	lastT      float64
 	dispatched bool
 	terminal   bool
+	dup        bool
 }
 
 // VerifyJSONL reads a JSONL event stream and checks the lifecycle
@@ -95,7 +107,11 @@ func VerifyJSONL(r io.Reader, requireTerminal bool) (*VerifyStats, error) {
 		if js == nil {
 			return st, fmt.Errorf("line %d: job %d has %s before arrival", line, e.Job, e.Kind)
 		}
-		if js.terminal {
+		if js.terminal && kind != EvDupDeliver {
+			// Deduplicated stale deliveries are the one event allowed after
+			// a terminal: a transit copy of a finished job may still land.
+			// Every other kind after a terminal — in particular a second
+			// terminal — breaks exactly-once accounting.
 			return st, fmt.Errorf("line %d: job %d has %s after its terminal event", line, e.Job, e.Kind)
 		}
 		if e.T < js.lastT {
@@ -109,10 +125,27 @@ func VerifyJSONL(r io.Reader, requireTerminal bool) (*VerifyStats, error) {
 			if !js.dispatched {
 				return st, fmt.Errorf("line %d: job %d started service without a dispatch", line, e.Job)
 			}
+		case EvResubmit:
+			if !js.dispatched {
+				return st, fmt.Errorf("line %d: job %d resubmitted without a dispatch", line, e.Job)
+			}
+			st.Resubmits++
+		case EvDupDeliver:
+			if !js.dispatched {
+				return st, fmt.Errorf("line %d: job %d had a duplicate delivery without a dispatch", line, e.Job)
+			}
+			st.DupDeliveries++
+			if js.terminal {
+				st.StaleDeliveries++
+			}
+			js.dup = true
 		}
 		if kind.Terminal() {
 			js.terminal = true
 			st.Terminated++
+			if js.dup {
+				st.DupJobsTerminated++
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"heterosched/internal/dist"
 	"heterosched/internal/drift"
 	"heterosched/internal/faults"
+	"heterosched/internal/netfault"
 	"heterosched/internal/probe"
 	"heterosched/internal/sim"
 )
@@ -123,6 +124,39 @@ func TestGoldenDriftOff(t *testing.T) {
 	}
 	if res.Adaptive != nil {
 		t.Error("Adaptive stats populated on a drift-off run")
+	}
+}
+
+// TestGoldenNetfaultOff locks the network-fault layer's inertness
+// promise: attaching a zero-valued netfault config must leave the run
+// bit-identical to the default ORR run. If this drifts while
+// TestGoldenDefaults still passes, the netfault wiring leaked into the
+// netfault-off path (an extra derived stream or scheduled event).
+func TestGoldenNetfaultOff(t *testing.T) {
+	cfg := cluster.Config{
+		Speeds:      []float64{1, 1, 2, 10},
+		Utilization: 0.6,
+		Duration:    5e4,
+		Seed:        7,
+		Netfault:    &netfault.Config{}, // zero value = layer disabled
+	}
+	res, err := cluster.Run(cfg, ORR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wantTime  = 80.32010488757426
+		wantRatio = 0.85354843255027757
+		wantFair  = 0.76359187852407262
+	)
+	if res.MeanResponseTime != wantTime || res.MeanResponseRatio != wantRatio ||
+		res.Fairness != wantFair || res.Jobs != 3741 || res.GeneratedJobs != 5160 {
+		t.Errorf("netfault-off run drifted from golden values:\n got  time=%.17g ratio=%.17g fair=%.17g jobs=%d gen=%d\n want time=%.17g ratio=%.17g fair=%.17g jobs=3741 gen=5160",
+			res.MeanResponseTime, res.MeanResponseRatio, res.Fairness, res.Jobs, res.GeneratedJobs,
+			wantTime, wantRatio, wantFair)
+	}
+	if res.Netfault != nil {
+		t.Error("Netfault stats populated on a netfault-off run")
 	}
 }
 

@@ -52,6 +52,19 @@ type Job struct {
 	// timers for this job, cancelled when the job leaves the system. The
 	// zero value means no timer is armed.
 	TimeoutEvent, DeadlineEvent Event
+	// AckEvent is the network-fault layer's pending ack-timeout timer for
+	// this job's latest dispatch, cancelled when the acceptance ack
+	// arrives or the job leaves the system.
+	AckEvent Event
+	// NetAccepted marks that a computer has accepted a delivery of this
+	// job; later deliveries of duplicated or resubmitted copies are
+	// deduplicated against it. Cleared when the job verifiably leaves its
+	// server (overload timeout, failure requeue) so re-dispatch works.
+	NetAccepted bool
+	// Resubmits counts network-layer resubmissions after ack timeouts or
+	// client-timeout rescues; distinct from Retries (failure requeues)
+	// and Attempts (overload retry/backoff).
+	Resubmits int
 
 	// attained is the virtual-time target used internally by PS servers,
 	// or the remaining work for quantum/FCFS servers.

@@ -14,8 +14,9 @@
 //	err := w.Flush()
 //
 // The Reader also accepts the legacy five-column format (no outcome or
-// retries columns); legacy rows read back as outcome "completed" with
-// zero retries.
+// retries columns; rows read back as outcome "completed" with zero
+// retries) and the intermediate seven-column format (no resubmits
+// column; rows read back with zero resubmits).
 package trace
 
 import (
@@ -33,11 +34,17 @@ import (
 
 // header is the CSV column layout, written once per trace. The first
 // legacyColumns columns match the original format; outcome and retries
-// were appended later, and the Reader accepts both layouts.
-var header = []string{"id", "target", "arrival", "size", "completion", "outcome", "retries"}
+// were appended later, and resubmits (network-layer resubmissions) after
+// that. The Reader accepts all three layouts.
+var header = []string{"id", "target", "arrival", "size", "completion", "outcome", "retries", "resubmits"}
 
-// legacyColumns is the column count of the original trace format.
-const legacyColumns = 5
+// legacyColumns is the column count of the original trace format;
+// retryColumns the width of the intermediate format that added outcome
+// and retries but predated the resubmits column.
+const (
+	legacyColumns = 5
+	retryColumns  = 7
+)
 
 // Record is one finished job.
 type Record struct {
@@ -52,6 +59,9 @@ type Record struct {
 	// Retries is the total number of re-dispatches the job saw: fault
 	// requeues plus dispatcher retry/backoff attempts.
 	Retries int
+	// Resubmits counts network-layer resubmissions (ack-timeout or client
+	// rescue, see internal/netfault); legacy traces read back as zero.
+	Resubmits int
 }
 
 // ResponseTime returns Completion − Arrival.
@@ -90,6 +100,7 @@ func (w *Writer) RecordFinal(j *sim.Job, o cluster.Outcome) error {
 		Completion: j.Completion,
 		Outcome:    o.String(),
 		Retries:    j.Retries + j.Attempts,
+		Resubmits:  j.Resubmits,
 	})
 }
 
@@ -113,6 +124,7 @@ func (w *Writer) Append(r Record) error {
 		strconv.FormatFloat(r.Completion, 'g', -1, 64),
 		outcome,
 		strconv.Itoa(r.Retries),
+		strconv.Itoa(r.Resubmits),
 	})
 }
 
@@ -169,8 +181,8 @@ func (r *Reader) ReadAll() ([]Record, error) {
 }
 
 func parseRow(row []string) (Record, error) {
-	if len(row) != len(header) && len(row) != legacyColumns {
-		return Record{}, fmt.Errorf("trace: row has %d columns, want %d (or legacy %d)", len(row), len(header), legacyColumns)
+	if len(row) != len(header) && len(row) != retryColumns && len(row) != legacyColumns {
+		return Record{}, fmt.Errorf("trace: row has %d columns, want %d (or legacy %d/%d)", len(row), len(header), retryColumns, legacyColumns)
 	}
 	id, err := strconv.ParseInt(row[0], 10, 64)
 	if err != nil {
@@ -206,6 +218,14 @@ func parseRow(row []string) (Record, error) {
 		return Record{}, fmt.Errorf("trace: bad retries %q: %v", row[6], err)
 	}
 	rec.Retries = retries
+	if len(row) == retryColumns {
+		return rec, nil
+	}
+	resubmits, err := strconv.Atoi(row[7])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad resubmits %q: %v", row[7], err)
+	}
+	rec.Resubmits = resubmits
 	return rec, nil
 }
 

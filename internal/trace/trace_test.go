@@ -104,6 +104,50 @@ func TestReaderLegacyFormat(t *testing.T) {
 	}
 }
 
+func TestRoundTripResubmits(t *testing.T) {
+	// The resubmits column (network-layer resubmissions) round-trips, and
+	// the intermediate seven-column format — outcome and retries but no
+	// resubmits — reads back with zero resubmits.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{ID: 1, Target: 0, Arrival: 0.5, Size: 2, Completion: 3.5, Outcome: "completed", Resubmits: 3},
+		{ID: 2, Target: 3, Arrival: 1.25, Size: 0.5, Outcome: "net-lost", Retries: 1, Resubmits: 4},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	// Seven-column rows (pre-resubmits) and current rows can be mixed.
+	mixed := "id,target,arrival,size,completion,outcome,retries\n" +
+		"1,0,0.5,2,3.5,late,2\n" +
+		"2,1,1,4,9,completed,0,5\n"
+	got, err = NewReader(strings.NewReader(mixed)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Resubmits != 0 || got[0].Retries != 2 || got[1].Resubmits != 5 {
+		t.Errorf("mixed records = %+v", got)
+	}
+}
+
 func TestReaderBadRows(t *testing.T) {
 	cases := []string{
 		"x,1,0,2,4\n",
@@ -113,7 +157,8 @@ func TestReaderBadRows(t *testing.T) {
 		"1,1,0,2,x\n",
 		"1,1,0,2,4,bogus-outcome,0\n",
 		"1,1,0,2,4,completed,x\n",
-		"1,1,0,2,4,completed\n", // six columns: neither legacy nor current
+		"1,1,0,2,4,completed,0,x\n", // bad resubmits
+		"1,1,0,2,4,completed\n",     // six columns: no known format
 	}
 	for _, in := range cases {
 		if _, err := NewReader(strings.NewReader(in)).Next(); err == nil {
