@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check race stress vet fmt clean probe-smoke netfault-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke netfault-smoke chaos-smoke benchcheck bench-baseline
 
 all: build
 
@@ -26,8 +26,10 @@ vet:
 # check is the pre-commit gate: vet, build, then the whole suite under the
 # race detector with -short so the internal/sim stress tests run at reduced
 # iteration counts (see stressN in internal/sim/stress_test.go).
+# -shuffle=on randomizes test and subtest order to catch order coupling;
+# a failure prints the shuffle seed for replay (-shuffle=SEED).
 check: vet build
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -shuffle=on ./...
 
 # race runs the whole suite under the race detector with -short (stress
 # tests at reduced iteration counts). The adaptive re-planning loop,
@@ -69,6 +71,18 @@ netfault-smoke:
 		> netfault-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest netfault-out/manifest.json \
 		-events netfault-out/events.jsonl -require-terminal
+
+# chaos-smoke samples a bounded budget of composed fault scenarios
+# (faults x overload x drift x netfault) and checks every run against the
+# invariant registry (see internal/chaos and `go run ./cmd/chaos list`).
+# Any violating scenario is shrunk to a minimal reproducer spec written
+# under chaos-out/; CI uploads the directory so a red run ships its own
+# replayable repro (`go run ./cmd/chaos replay -spec chaos-out/repro-K.chaos`).
+chaos-smoke:
+	mkdir -p chaos-out
+	$(GO) run ./cmd/chaos search \
+		-chaos seeds:120,intensity:1,dur:20000,seed:7 \
+		-out chaos-out
 
 # benchcheck is the benchmark-regression gate: re-measure the hot-path
 # suite and compare against the committed baseline. Fails on >threshold

@@ -1,9 +1,10 @@
 // Command probecheck validates observability artifacts produced by an
 // instrumented simulation run: run manifests (-manifest) and JSONL
 // lifecycle event streams (-events). It prints one summary line per
-// artifact and exits non-zero on the first violation, making it the
-// assertion step of the CI probe smoke test and of scripted experiment
-// pipelines.
+// artifact; on a violating stream it prints every collected violation
+// with its line number, a summary carrying the total count, and exits
+// non-zero — making it the assertion step of the CI probe smoke test
+// and of scripted experiment pipelines.
 //
 // Usage:
 //
@@ -61,13 +62,21 @@ func main() {
 			fatal(err)
 		}
 		st, err := probe.VerifyJSONL(f, *requireTerminal)
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if cerr := f.Close(); err == nil && cerr != nil {
+			fatal(cerr)
 		}
 		if err != nil {
-			fatal(err)
+			// The verifier scans the whole stream and collects every
+			// violation; print them all (details are capped upstream),
+			// then the count, and fail.
+			for _, v := range st.Details {
+				fmt.Fprintf(os.Stderr, "probecheck: %s: %s\n", *eventsPath, v)
+			}
+			fmt.Printf("events %s: FAILED (%d invariant violations in %d events, %d jobs, %d terminated)\n",
+				*eventsPath, st.Violations, st.Events, st.Jobs, st.Terminated)
+			os.Exit(1)
 		}
-		fmt.Printf("events %s: ok (%d events, %d jobs, %d terminated)\n",
+		fmt.Printf("events %s: ok (%d events, %d jobs, %d terminated, 0 violations)\n",
 			*eventsPath, st.Events, st.Jobs, st.Terminated)
 		if st.Resubmits > 0 || st.DupDeliveries > 0 {
 			// The dedup⇒exactly-once guarantee: jobs that saw duplicate

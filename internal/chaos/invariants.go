@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"fmt"
+
+	"heterosched/internal/probe"
+)
+
+// The invariant registry. Every chaos run is checked against all of
+// these; a Violation names the invariant it broke, so the shrinker can
+// minimize "still breaks THIS invariant" rather than "still breaks
+// something".
+const (
+	// InvConservation: on a drained run, every generated arrival reaches
+	// exactly one terminal outcome — GeneratedJobs == Σ Outcomes and
+	// nothing is left in the system.
+	InvConservation = "conservation"
+	// InvFinalOnce: OnFinal fires exactly once per job, and no event
+	// follows a job's terminal event except deduplicated stale
+	// deliveries.
+	InvFinalOnce = "final-exactly-once"
+	// InvEventOrder: event times never regress, globally or per job.
+	InvEventOrder = "event-order"
+	// InvLifecycle: the per-job event grammar holds — one arrival first,
+	// service starts and network retransmissions only after a dispatch.
+	InvLifecycle = "event-lifecycle"
+	// InvQueueCap: a bounded queue's occupancy high-water mark never
+	// exceeds its configured capacity.
+	InvQueueCap = "queue-cap"
+	// InvBreakerLegal: per-computer breaker transitions follow the state
+	// machine closed → open → half-open → {open, closed}.
+	InvBreakerLegal = "breaker-legal"
+	// InvProgress: the stall watchdog — while jobs are in the system,
+	// terminal outcomes keep occurring within the stall horizon, and the
+	// in-system count stays under its ceiling.
+	InvProgress = "progress"
+)
+
+// Invariant describes one registry entry.
+type Invariant struct {
+	Name string
+	Desc string
+}
+
+// Registry lists every invariant a chaos run is checked against.
+func Registry() []Invariant {
+	return []Invariant{
+		{InvConservation, "arrivals = terminal outcomes on a drained run; nothing stranded in the system"},
+		{InvFinalOnce, "OnFinal exactly once per job; nothing after a terminal event but stale dedups"},
+		{InvEventOrder, "event times never regress, globally or per job"},
+		{InvLifecycle, "arrival first and once; service/resubmit/dup-deliver require a dispatch"},
+		{InvQueueCap, "bounded-queue occupancy never exceeds the configured capacity"},
+		{InvBreakerLegal, "breaker transitions follow closed → open → half-open → {open, closed}"},
+		{InvProgress, "terminal outcomes keep occurring while jobs are in the system; in-system stays bounded"},
+	}
+}
+
+// Violation is one broken invariant in one run.
+type Violation struct {
+	// Invariant is the registry name (Inv* constant).
+	Invariant string
+	// Detail is the human-readable evidence.
+	Detail string
+}
+
+// String renders "invariant: detail".
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// invariantForCode maps a probe verifier violation code onto the chaos
+// registry entry it evidences.
+func invariantForCode(code string) string {
+	switch code {
+	case probe.VioTime, probe.VioJobTime:
+		return InvEventOrder
+	case probe.VioPostTerminal:
+		return InvFinalOnce
+	case probe.VioUnterminated:
+		return InvConservation
+	default:
+		return InvLifecycle
+	}
+}
+
+// breakerWatch is an in-process event sink validating the breaker state
+// machine per computer from EvBreaker transition events. The cluster
+// emits one event per genuine transition, so any same-state repeat or
+// illegal edge is a bookkeeping bug.
+type breakerWatch struct {
+	state      map[int]string
+	violations []Violation
+}
+
+func newBreakerWatch() *breakerWatch {
+	return &breakerWatch{state: map[int]string{}}
+}
+
+func (bw *breakerWatch) Write(e *probe.Event) error {
+	if e.Kind != probe.EvBreaker {
+		return nil
+	}
+	prev, ok := bw.state[e.Target]
+	if !ok {
+		prev = "closed" // breakers start closed
+	}
+	next := e.Cause
+	legal := false
+	switch prev {
+	case "closed":
+		legal = next == "open"
+	case "open":
+		legal = next == "half-open"
+	case "half-open":
+		legal = next == "open" || next == "closed"
+	}
+	if !legal {
+		bw.violations = append(bw.violations, Violation{
+			Invariant: InvBreakerLegal,
+			Detail:    fmt.Sprintf("computer %d breaker went %s -> %s at t=%.6g", e.Target, prev, next, e.T),
+		})
+	}
+	bw.state[e.Target] = next
+	return nil
+}
+
+func (bw *breakerWatch) Flush() error { return nil }
+
+// terminalWatch records the times of terminal lifecycle events for the
+// progress watchdog.
+type terminalWatch struct {
+	times []float64
+}
+
+func (tw *terminalWatch) Write(e *probe.Event) error {
+	if e.Kind.Terminal() {
+		tw.times = append(tw.times, e.T)
+	}
+	return nil
+}
+
+func (tw *terminalWatch) Flush() error { return nil }
+
+// fanoutSink forwards every event to each attached writer in order.
+type fanoutSink []probe.EventWriter
+
+func (f fanoutSink) Write(e *probe.Event) error {
+	for _, w := range f {
+		if err := w.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f fanoutSink) Flush() error {
+	for _, w := range f {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkProgress runs the stall watchdog over a finished run: gaps
+// between consecutive terminal outcomes (including the run's edges)
+// longer than the stall horizon are violations when the in-system
+// series shows jobs present throughout the gap; and the in-system
+// count must stay under its ceiling. terminals must be sorted
+// ascending (they are: the event stream is time-ordered).
+func checkProgress(terminals []float64, series []int64, sampleDT, duration, stall float64, maxInSystem int64) []Violation {
+	var out []Violation
+	if maxInSystem > 0 {
+		for k, v := range series {
+			if v > maxInSystem {
+				out = append(out, Violation{
+					Invariant: InvProgress,
+					Detail:    fmt.Sprintf("in-system %d exceeds the ceiling %d at t=%.6g", v, maxInSystem, float64(k+1)*sampleDT),
+				})
+				break
+			}
+		}
+	}
+	if stall <= 0 || sampleDT <= 0 {
+		return out
+	}
+	// occupied reports whether every in-system sample strictly inside
+	// (from, to) is positive, with at least two samples as evidence —
+	// a gap the sampler barely saw is not a stall verdict.
+	occupied := func(from, to float64) bool {
+		seen := 0
+		for k, v := range series {
+			t := float64(k+1) * sampleDT
+			if t <= from {
+				continue
+			}
+			if t >= to {
+				break
+			}
+			if v <= 0 {
+				return false
+			}
+			seen++
+		}
+		return seen >= 2
+	}
+	prev := 0.0
+	check := func(from, to float64) {
+		if to-from > stall && occupied(from, to) {
+			out = append(out, Violation{
+				Invariant: InvProgress,
+				Detail:    fmt.Sprintf("no terminal outcome between t=%.6g and t=%.6g (stall horizon %.6g) with jobs in the system", from, to, stall),
+			})
+		}
+	}
+	for _, t := range terminals {
+		if t > duration {
+			break // drain phase: arrivals stopped, gaps there are benign
+		}
+		check(prev, t)
+		prev = t
+	}
+	check(prev, duration)
+	return out
+}

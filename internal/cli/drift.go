@@ -91,6 +91,9 @@ func ParseDriftSpec(s string) (*drift.Config, error) {
 			if err != nil {
 				return 0, fmt.Errorf("bad %s %q: %v", what, parts[i], err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%s %v must be finite", what, v)
+			}
 			return v, nil
 		}
 		switch kind {
@@ -142,6 +145,13 @@ func ParseDriftSpec(s string) (*drift.Config, error) {
 					return nil, err
 				}
 				cfg.Arrival = drift.Cycle{Period: period, Amplitude: amp}
+			}
+			// Validate the schedule here, not only in Config.Validate:
+			// the parser must reject a bad spec on its own (negative
+			// times, non-positive factors) so every caller gets the same
+			// verdict regardless of whether it runs deep validation.
+			if err := cfg.Arrival.Validate(); err != nil {
+				return nil, err
 			}
 		case "sstep":
 			if len(parts) != 2 && len(parts) != 3 {

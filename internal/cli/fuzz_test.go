@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"heterosched/internal/sched"
@@ -154,6 +156,63 @@ func FuzzDriftSpecs(f *testing.F) {
 		}
 		if replanSpec == "" && ac != nil {
 			t.Fatal("adapt config without a -replan spec")
+		}
+	})
+}
+
+// FuzzChaosSpecs throws arbitrary strings at the -chaos search-space
+// grammar. The contract matches the other fuzzers: ParseChaosSpec never
+// panics, empty input means no search (nil, nil), every rejection
+// carries a message, and every accepted spec is internally sane — the
+// generator trusts these bounds when it samples scenarios.
+func FuzzChaosSpecs(f *testing.F) {
+	f.Add("seeds:200")
+	f.Add("seeds:50,intensity:1,dims:fail+over+drift+net,dur:20000,rho:0.7,speeds:1+1+2+10,seed:7")
+	f.Add("dims:net,stall:5000,insys:100000")
+	f.Add("")
+	f.Add("seeds:0,intensity:0,dims:,dur:-1")
+	f.Add("seeds:,intensity:,rho:nan,speeds:,seed:")
+	f.Add("intensity:1e308,dur:inf,stall:9999999999999999999,insys:-1")
+	f.Add("seeds:1,seeds:2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cs, err := ParseChaosSpec(spec)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from ParseChaosSpec")
+			}
+			return
+		}
+		if cs == nil {
+			if strings.TrimSpace(spec) != "" {
+				t.Fatalf("ParseChaosSpec(%q) returned nil without error for non-empty input", spec)
+			}
+			return
+		}
+		if cs.Scenarios < 1 {
+			t.Fatalf("accepted scenario count %d < 1 for %q", cs.Scenarios, spec)
+		}
+		if !(cs.Intensity > 0 && cs.Intensity <= 1) {
+			t.Fatalf("accepted intensity %v outside (0, 1] for %q", cs.Intensity, spec)
+		}
+		if !(cs.Duration > 0) || math.IsInf(cs.Duration, 0) {
+			t.Fatalf("accepted duration %v for %q", cs.Duration, spec)
+		}
+		if !cs.DimFaults && !cs.DimOverload && !cs.DimDrift && !cs.DimNet {
+			t.Fatalf("accepted spec %q with no dimensions", spec)
+		}
+		if cs.Rho < 0 || cs.Rho > MaxRho || math.IsNaN(cs.Rho) {
+			t.Fatalf("accepted rho %v for %q", cs.Rho, spec)
+		}
+		for _, v := range cs.Speeds {
+			if !(v > 0) || math.IsInf(v, 0) {
+				t.Fatalf("accepted speed %v for %q", v, spec)
+			}
+		}
+		if cs.Stall < 0 || math.IsNaN(cs.Stall) || cs.Stall > cs.Duration {
+			t.Fatalf("accepted stall %v (duration %v) for %q", cs.Stall, cs.Duration, spec)
+		}
+		if cs.MaxInSystem < 0 {
+			t.Fatalf("accepted in-system cap %d for %q", cs.MaxInSystem, spec)
 		}
 	})
 }

@@ -148,6 +148,9 @@ func ParseNetfaultSpec(s string) (*netfault.Config, error) {
 			if kind == "lat" && v < 0 {
 				return nil, fmt.Errorf("latency mean %g is negative", v)
 			}
+			if kind != "lat" && (v < 0 || v > 1) {
+				return nil, fmt.Errorf("%s probability %g outside [0, 1]", kind, v)
+			}
 			if len(parts) == 2 {
 				idx, err := linkIdx(1)
 				if err != nil {

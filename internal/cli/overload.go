@@ -141,6 +141,9 @@ func ParseDeadlineSpec(s string) (dist.Distribution, cluster.DeadlineAction, err
 		return nil, cluster.DeadlineKill, nil
 	}
 	parts := strings.Split(s, ":")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
 	action := cluster.DeadlineKill
 	switch parts[len(parts)-1] {
 	case "kill":

@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecParsersConsistency audits every spec grammar in this package
+// against one shared contract: surrounding whitespace is tolerated
+// (flags often arrive through shell quoting and config files), and
+// NaN, infinity and negative magnitudes are rejected with a non-empty
+// message rather than laundered into a config. Each grammar has its own
+// deep tests; this table keeps the *edges* of all of them aligned, so a
+// new parser cannot quietly diverge on the basics.
+func TestSpecParsersConsistency(t *testing.T) {
+	type parser struct {
+		name  string
+		parse func(string) error
+		valid string   // a representative accepted spec
+		bad   []string // NaN / Inf / negative variants, all rejected
+	}
+	parsers := []parser{
+		{
+			name:  "speeds",
+			parse: func(s string) error { _, err := ParseSpeeds(s); return err },
+			valid: "1,1,2,10",
+			bad:   []string{"nan,1", "inf,1", "-1,2", "0,2"},
+		},
+		{
+			name:  "drift",
+			parse: func(s string) error { _, err := ParseDriftSpec(s); return err },
+			valid: "lstep:20000:2",
+			bad:   []string{"lstep:nan:2", "lstep:inf:2", "lstep:-5:2", "lstep:20000:nan"},
+		},
+		{
+			name:  "netfault",
+			parse: func(s string) error { _, err := ParseNetfaultSpec(s); return err },
+			valid: "loss:0.1,lat:5",
+			bad:   []string{"loss:nan", "lat:inf", "loss:-0.1", "dup:nan"},
+		},
+		{
+			name: "ackto",
+			parse: func(s string) error {
+				_, _, err := ParseAckSpec(s)
+				return err
+			},
+			valid: "60:4",
+			bad:   []string{"nan:4", "inf:4", "-60:4"},
+		},
+		{
+			name: "qcap",
+			parse: func(s string) error {
+				_, _, err := ParseQueueCapSpec(s)
+				return err
+			},
+			valid: "40:oldest",
+			bad:   []string{"-1", "nan"},
+		},
+		{
+			name: "admit",
+			parse: func(s string) error {
+				_, _, _, err := ParseAdmissionSpec(s)
+				return err
+			},
+			valid: "token-bucket:2.5:8",
+			bad:   []string{"token-bucket:nan:8", "token-bucket:inf:8", "token-bucket:-2:8"},
+		},
+		{
+			name: "deadline",
+			parse: func(s string) error {
+				_, _, err := ParseDeadlineSpec(s)
+				return err
+			},
+			valid: "exp:1200:kill",
+			bad:   []string{"exp:nan:kill", "exp:inf:kill", "exp:-5:kill"},
+		},
+		{
+			name: "backoff",
+			parse: func(s string) error {
+				_, _, _, err := ParseBackoffSpec(s)
+				return err
+			},
+			valid: "1:60:0.5",
+			bad:   []string{"nan:60", "inf:60", "-1:60", "1:60:nan"},
+		},
+		{
+			name:  "breaker",
+			parse: func(s string) error { _, err := ParseBreakerSpec(s); return err },
+			valid: "5:500",
+			bad:   []string{"-5:500", "5:nan", "5:-500"},
+		},
+		{
+			name:  "chaos",
+			parse: func(s string) error { _, err := ParseChaosSpec(s); return err },
+			valid: "seeds:10,intensity:0.5,dur:20000",
+			bad:   []string{"intensity:nan", "dur:inf", "seeds:-1", "rho:-0.5", "stall:nan"},
+		},
+	}
+
+	for _, p := range parsers {
+		t.Run(p.name, func(t *testing.T) {
+			if err := p.parse(p.valid); err != nil {
+				t.Fatalf("%s rejects its own representative spec %q: %v", p.name, p.valid, err)
+			}
+			// Whitespace around the whole spec must not change the verdict.
+			padded := "  " + p.valid + "\t"
+			if err := p.parse(padded); err != nil {
+				t.Errorf("%s rejects whitespace-padded %q: %v", p.name, padded, err)
+			}
+			for _, bad := range p.bad {
+				err := p.parse(bad)
+				if err == nil {
+					t.Errorf("%s accepts %q, want rejection", p.name, bad)
+					continue
+				}
+				if strings.TrimSpace(err.Error()) == "" {
+					t.Errorf("%s rejects %q with an empty message", p.name, bad)
+				}
+			}
+		})
+	}
+}

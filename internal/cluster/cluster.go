@@ -358,6 +358,18 @@ type Result struct {
 	Deviations []float64
 	// GeneratedJobs counts all arrivals, including warm-up.
 	GeneratedJobs int64
+	// Outcomes[o] counts every finalized job by terminal Outcome,
+	// warm-up included (unlike the response-time statistics, which drop
+	// the warm-up prefix). Length NumOutcomes. On a drained run every
+	// arrival reaches exactly one outcome, so sum(Outcomes) ==
+	// GeneratedJobs and FinalInSystem == 0 — the job-conservation
+	// ledger the chaos harness (internal/chaos) asserts. Without Drain
+	// the residual jobs at the horizon are unfinalized (FinalInSystem,
+	// plus any arrivals parked in a crashed dispatcher's buffer).
+	Outcomes []int64
+	// FinalInSystem is the number of dispatched jobs still in the
+	// system when the run ended (always 0 with Drain on).
+	FinalInSystem int64
 	// SimulatedTime is the time at which statistics collection ended.
 	SimulatedTime float64
 	// Overload holds the overload-protection counters and the admitted-job
@@ -581,11 +593,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	// to a job's end — a deadline kill followed by the held job's eventual
 	// completion, a shed of an already-condemned job — so the Finalized
 	// flag arbitrates.
+	outcomes := make([]int64, numOutcomes)
 	finalize := func(j *sim.Job, o Outcome) {
 		if j.Finalized {
 			return
 		}
 		j.Finalized = true
+		outcomes[o]++
 		if nf != nil {
 			nf.jobDone(j)
 		}
@@ -787,6 +801,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				nf.reclaim(j)
 			}
 			if ov != nil {
+				// A half-open probe evicted by its computer's failure is a
+				// failed probe: record the outcome against the probed
+				// breaker before the job re-enters the pool as a normal
+				// job — otherwise it would carry its probe mark to another
+				// computer and close the wrong breaker on completion,
+				// leaving the probed one stuck half-open forever.
+				ov.probeFailed(j)
 				// Route through the overload dispatcher so requeued jobs
 				// respect breakers, rejection and timeouts too.
 				ov.dispatch(j, false)
@@ -827,12 +848,19 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			},
 			Requeue: requeue,
 			OnLost: func(j *sim.Job) {
-				inSystem--
-				trackSys()
 				if ov != nil {
 					ov.jobLost(j)
 				}
-				finalize(j, OutcomeLostFailure)
+				// A job the deadline already condemned was finalized and
+				// counted out of the system by deadlineExpire; the fault
+				// layer surfacing it later only hands back the Job for
+				// recycling — decrementing again would drive the
+				// in-system ledger negative.
+				if !j.Finalized {
+					inSystem--
+					trackSys()
+					finalize(j, OutcomeLostFailure)
+				}
 				releaseJob(j)
 			},
 		}
@@ -1209,6 +1237,8 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		RatioP95:          ratioHist.Quantile(0.95),
 		RatioP99:          ratioHist.Quantile(0.99),
 		GeneratedJobs:     generated,
+		Outcomes:          outcomes,
+		FinalInSystem:     inSystem,
 		SimulatedTime:     endTime,
 	}
 	for i := range cfg.Speeds {

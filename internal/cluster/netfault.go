@@ -136,13 +136,20 @@ func (s *NetfaultStats) AddCounters(o *NetfaultStats) {
 type nfEntry struct {
 	ref    sim.JobRef
 	sentAt float64
+	// epoch is the job's delivery epoch when the tracked dispatch was
+	// sent; an ack stamped with an older epoch belongs to a superseded
+	// delivery and must not resolve this entry.
+	epoch int
 }
 
 // nfPending is a dispatcher- or client-side retransmit that fired while
-// the dispatcher was down, parked until restart.
+// the dispatcher was down, parked until restart. epoch is the job's
+// delivery epoch at parking time: a reclaim (overload timeout, failure
+// requeue) while parked supersedes the retransmit.
 type nfPending struct {
-	ref sim.JobRef
-	id  int64
+	ref   sim.JobRef
+	id    int64
+	epoch int
 }
 
 // netfaultRun orchestrates the network-fault layer inside one Run. The
@@ -311,6 +318,7 @@ func (nf *netfaultRun) send(target int, j *sim.Job, tracked bool) {
 	}
 	delivered := 0
 	ref := nf.arena.Ref(j)
+	epoch := j.NetEpoch
 	for c := 0; c < copies; c++ {
 		if link.Loss > 0 && st.Float64() < link.Loss {
 			nf.stats.LostCopies++
@@ -332,9 +340,9 @@ func (nf *netfaultRun) send(target int, j *sim.Job, tracked bool) {
 				nf.pb.SetLinkInFlight(now, target, nf.inFlight[target])
 			}
 			tgt := target
-			nf.en.ScheduleAfter(delay, func() { nf.deliverCopy(tgt, ref, true) })
+			nf.en.ScheduleAfter(delay, func() { nf.deliverCopy(tgt, ref, epoch, true) })
 		} else {
-			nf.deliverCopy(target, ref, false)
+			nf.deliverCopy(target, ref, epoch, false)
 		}
 	}
 	if !tracked && delivered == 0 {
@@ -344,8 +352,11 @@ func (nf *netfaultRun) send(target int, j *sim.Job, tracked bool) {
 
 // deliverCopy lands one transit copy at computer target: the first copy
 // accepted wins, every later one is deduplicated against the idempotency
-// key and re-acked.
-func (nf *netfaultRun) deliverCopy(target int, ref sim.JobRef, wasInFlight bool) {
+// key and re-acked. epoch is the job's delivery epoch at send time; a
+// copy from a superseded epoch (the job was reclaimed from its server —
+// overload timeout, failure requeue — after this copy was sent) is
+// stale even though the reclaim cleared NetAccepted.
+func (nf *netfaultRun) deliverCopy(target int, ref sim.JobRef, epoch int, wasInFlight bool) {
 	now := nf.en.Now()
 	if wasInFlight {
 		nf.inFlight[target]--
@@ -354,7 +365,7 @@ func (nf *netfaultRun) deliverCopy(target int, ref sim.JobRef, wasInFlight bool)
 		}
 	}
 	j, ok := ref.Load()
-	if !ok || j.Finalized || j.Killed {
+	if !ok || j.Finalized || j.Killed || j.NetEpoch != epoch {
 		// The job already left the system (or its arena slot was even
 		// recycled): a stale copy, swallowed by dedup.
 		nf.stats.StaleDeliveries++
@@ -374,18 +385,19 @@ func (nf *netfaultRun) deliverCopy(target int, ref sim.JobRef, wasInFlight bool)
 		}
 		// The computer re-acks duplicates: an earlier ack may have been
 		// the lost one.
-		nf.sendAck(target, j.ID)
+		nf.sendAck(target, j.ID, j.NetEpoch)
 		return
 	}
 	j.NetAccepted = true
 	j.Target = target
-	nf.sendAck(target, j.ID)
+	nf.sendAck(target, j.ID, j.NetEpoch)
 	nf.deliver(target, j)
 }
 
 // sendAck returns the computer's acceptance ack over the same link,
-// subject to the same partition, loss and latency.
-func (nf *netfaultRun) sendAck(target int, id int64) {
+// subject to the same partition, loss and latency. epoch stamps the
+// ack with the delivery epoch it acknowledges.
+func (nf *netfaultRun) sendAck(target int, id int64, epoch int) {
 	if nf.cfg.Ack.Timeout <= 0 {
 		return
 	}
@@ -403,21 +415,30 @@ func (nf *netfaultRun) sendAck(target int, id int64) {
 		delay = link.Latency.Sample(nf.linkStreams[target])
 	}
 	if delay > 0 {
-		nf.en.ScheduleAfter(delay, func() { nf.onAck(id) })
+		nf.en.ScheduleAfter(delay, func() { nf.onAck(id, epoch) })
 	} else {
-		nf.onAck(id)
+		nf.onAck(id, epoch)
 	}
 }
 
 // onAck resolves an outstanding dispatch. A crashed dispatcher misses
-// the ack; the restart recovery decides the entry's fate instead.
-func (nf *netfaultRun) onAck(id int64) {
+// the ack; the restart recovery decides the entry's fate instead. An
+// ack from a superseded delivery epoch is ignored: it acknowledged a
+// dispatch that was since reclaimed (failure requeue, overload
+// timeout), and letting it resolve the entry would strand the current
+// dispatch's retransmission loop — a lost copy would never be
+// resubmitted.
+func (nf *netfaultRun) onAck(id int64, epoch int) {
 	if !nf.up {
 		nf.stats.AckLost++
 		return
 	}
 	e, ok := nf.outstanding[id]
 	if !ok {
+		return
+	}
+	if e.epoch != epoch {
+		nf.stats.AckLost++
 		return
 	}
 	delete(nf.outstanding, id)
@@ -440,6 +461,7 @@ func (nf *netfaultRun) track(j *sim.Job, now float64) {
 	}
 	e.ref = nf.arena.Ref(j)
 	e.sentAt = now
+	e.epoch = j.NetEpoch
 	ref := e.ref
 	j.AckEvent = nf.en.ScheduleAfter(nf.cfg.Ack.Timeout, func() {
 		if jj, ok := ref.Load(); ok {
@@ -459,7 +481,7 @@ func (nf *netfaultRun) ackTimeout(j *sim.Job) {
 		// The dispatcher-side timer fired while the process was dead;
 		// park it. The restart recovery decides whether the entry (and
 		// hence this retransmit) survives.
-		nf.pendingRetry = append(nf.pendingRetry, nfPending{ref: nf.arena.Ref(j), id: j.ID})
+		nf.pendingRetry = append(nf.pendingRetry, nfPending{ref: nf.arena.Ref(j), id: j.ID, epoch: j.NetEpoch})
 		return
 	}
 	nf.resubmit(j, "ack-timeout")
@@ -496,13 +518,17 @@ func (nf *netfaultRun) resubmit(j *sim.Job, cause string) {
 	// computer: release the policy's load accounting before re-selecting.
 	nf.departed(j)
 	ref := nf.arena.Ref(j)
+	epoch := j.NetEpoch
 	nf.en.ScheduleAfter(d, func() {
 		jj, ok := ref.Load()
-		if !ok || jj.Finalized || jj.Killed {
+		if !ok || jj.Finalized || jj.Killed || jj.NetEpoch != epoch {
+			// Epoch moved: the job was reclaimed from its server while
+			// this backoff was pending — the overload/fault machinery
+			// owns its re-dispatch now, a second loop would double it.
 			return
 		}
 		if !nf.up {
-			nf.pendingRetry = append(nf.pendingRetry, nfPending{ref: ref, id: jj.ID})
+			nf.pendingRetry = append(nf.pendingRetry, nfPending{ref: ref, id: jj.ID, epoch: epoch})
 			return
 		}
 		nf.redispatch(jj)
@@ -548,15 +574,16 @@ func (nf *netfaultRun) scheduleRescue(j *sim.Job) {
 		t = now
 	}
 	ref := nf.arena.Ref(j)
+	epoch := j.NetEpoch
 	nf.en.Schedule(t, func() {
 		jj, ok := ref.Load()
-		if !ok || jj.Finalized || jj.Killed || jj.NetAccepted {
+		if !ok || jj.Finalized || jj.Killed || jj.NetAccepted || jj.NetEpoch != epoch {
 			return
 		}
 		if !nf.up {
 			// The client keeps retrying regardless of dispatcher state;
 			// its retransmit lands once the dispatcher is back.
-			nf.pendingRescue = append(nf.pendingRescue, nfPending{ref: ref, id: jj.ID})
+			nf.pendingRescue = append(nf.pendingRescue, nfPending{ref: ref, id: jj.ID, epoch: epoch})
 			return
 		}
 		nf.stats.ClientRescues++
@@ -579,6 +606,7 @@ func (nf *netfaultRun) jobDone(j *sim.Job) {
 // not be deduplicated away.
 func (nf *netfaultRun) reclaim(j *sim.Job) {
 	j.NetAccepted = false
+	j.NetEpoch++ // invalidate copies of the superseded dispatch still in transit
 	if j.AckEvent.Active() {
 		j.AckEvent.Cancel()
 		j.AckEvent = sim.Event{}
@@ -714,7 +742,7 @@ func (nf *netfaultRun) restart() {
 	nf.pendingRetry = nil
 	for _, p := range retry {
 		jj, ok := p.ref.Load()
-		if !ok || jj.Finalized || jj.Killed {
+		if !ok || jj.Finalized || jj.Killed || jj.NetEpoch != p.epoch {
 			continue
 		}
 		if _, tracked := nf.outstanding[p.id]; tracked {
@@ -727,7 +755,7 @@ func (nf *netfaultRun) restart() {
 	nf.pendingRescue = nil
 	for _, p := range resc {
 		jj, ok := p.ref.Load()
-		if !ok || jj.Finalized || jj.Killed || jj.NetAccepted {
+		if !ok || jj.Finalized || jj.Killed || jj.NetAccepted || jj.NetEpoch != p.epoch {
 			continue
 		}
 		nf.stats.ClientRescues++

@@ -295,7 +295,7 @@ func TestNetfaultFullPartitionBreakerBufferEdge(t *testing.T) {
 	cfg.Overload = &cluster.OverloadConfig{
 		Timeout:     60,
 		RetryBudget: 2,
-		Breaker: &dispatch.BreakerConfig{Consecutive: 3, Cooldown: 240},
+		Breaker:     &dispatch.BreakerConfig{Consecutive: 3, Cooldown: 240},
 	}
 	led := attachLedger(t, &cfg)
 	res, err := cluster.Run(cfg, sched.ORR())

@@ -42,6 +42,11 @@ const (
 	numOutcomes
 )
 
+// NumOutcomes is the number of distinct terminal outcomes; valid
+// Outcome values are 0 ≤ o < NumOutcomes. Result.Outcomes has this
+// length.
+const NumOutcomes = int(numOutcomes)
+
 var outcomeNames = [numOutcomes]string{
 	"completed",
 	"late",

@@ -246,6 +246,12 @@ type OverloadStats struct {
 	// TimeP50/P95/P99 are response-time percentile estimates (seconds)
 	// over post-warm-up completed jobs, from a log-binned histogram.
 	TimeP50, TimeP95, TimeP99 float64
+	// MaxOccupancy[i] is the high-water mark of jobs present at computer
+	// i (in service plus queued); nil unless QueueCap bounded the
+	// queues. By construction it can never exceed QueueCap — the chaos
+	// harness asserts exactly that, so a future regression in the
+	// bounded-server bookkeeping is caught rather than assumed away.
+	MaxOccupancy []int
 }
 
 // Dropped returns the number of admitted jobs that never completed:
@@ -366,7 +372,14 @@ func (ov *overloadRun) admitJob(j *sim.Job) bool {
 		j.Deadline = j.Arrival + rel
 		if ov.cfg.DeadlineAction == DeadlineKill {
 			ref := ov.arena.Ref(j)
-			j.DeadlineEvent = ov.en.Schedule(j.Deadline, func() {
+			// Jobs flushed from a crashed dispatcher's buffer are admitted
+			// after their arrival; a deadline that lapsed while buffered
+			// fires immediately rather than scheduling into the past.
+			t := j.Deadline
+			if now := ov.en.Now(); t < now {
+				t = now
+			}
+			j.DeadlineEvent = ov.en.Schedule(t, func() {
 				if jj, ok := ref.Load(); ok {
 					ov.deadlineExpire(jj)
 				}
@@ -393,6 +406,7 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 			if b.NeedsProbe() {
 				target = i
 				j.Probe = true
+				j.ProbeTarget = i
 				b.BeginProbe()
 				ov.stats.BreakerProbes++
 				break
@@ -443,6 +457,13 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 		return
 	}
 	if ov.cfg.Timeout > 0 {
+		if j.TimeoutEvent.Active() {
+			// A network-layer resubmission can re-dispatch while the
+			// previous dispatch's timer is still armed; replacing the
+			// handle without cancelling would orphan a live timer that
+			// nothing can cancel later.
+			j.TimeoutEvent.Cancel()
+		}
 		ref := ov.arena.Ref(j)
 		j.TimeoutEvent = ov.en.ScheduleAfter(ov.cfg.Timeout, func() {
 			if jj, ok := ref.Load(); ok {
@@ -458,6 +479,11 @@ func (ov *overloadRun) dispatch(j *sim.Job, first bool) {
 // computer) is left to the fault machinery.
 func (ov *overloadRun) timeout(j *sim.Job) {
 	j.TimeoutEvent = sim.Event{}
+	if j.Killed || j.Finalized {
+		// Already terminally accounted (deadline kill, network loss)
+		// while the timer was in flight: there is nothing to retry.
+		return
+	}
 	if !ov.removers[j.Target].Remove(j) {
 		return
 	}
@@ -501,6 +527,13 @@ func (ov *overloadRun) retryOrDrop(j *sim.Job) {
 				ov.dispatch(jj, false)
 			}
 		})
+		return
+	}
+	if j.NetAccepted {
+		// The retry loop ran on the dispatcher's belief that the job
+		// never arrived, but a computer holds it — the network lost the
+		// acks, not the job. Dropping would strand (and free) a job in
+		// service; stop retrying and let it complete normally instead.
 		return
 	}
 	ov.stats.DroppedRetryBudget++
@@ -652,9 +685,17 @@ func (ov *overloadRun) preDepart(j *sim.Job) bool {
 		}
 		return false
 	}
-	if j.Probe {
+	switch {
+	case j.Probe && j.Target != j.ProbeTarget:
+		// The network delivered this probe to a different computer than
+		// the breaker it was testing: its completion proves nothing
+		// about the probed computer. Abandon the probe (re-open and
+		// restart the cooldown) so a fresh one is dispatched later. No
+		// policy.Departed: probes bypass policy selection entirely.
+		ov.probeFailed(j)
+	case j.Probe:
 		ov.probeSucceeded(j.Target)
-	} else {
+	default:
 		ov.policy.Departed(j)
 		if ov.brk != nil {
 			ov.brk[j.Target].RecordSuccess()
@@ -703,14 +744,17 @@ func (ov *overloadRun) probeSucceeded(i int) {
 }
 
 // probeFailed re-opens the probed breaker and restarts its cooldown.
+// The verdict is charged to ProbeTarget, not Target: the network layer
+// may have landed the job at a different computer, but the breaker that
+// staked its half-open probe on this job is the one that must re-open.
 func (ov *overloadRun) probeFailed(j *sim.Job) {
 	if !j.Probe {
 		return
 	}
 	j.Probe = false
-	ov.brk[j.Target].ProbeFailed(ov.en.Now())
-	ov.noteBreaker(j.Target)
-	ov.scheduleHalfOpen(j.Target)
+	ov.brk[j.ProbeTarget].ProbeFailed(ov.en.Now())
+	ov.noteBreaker(j.ProbeTarget)
+	ov.scheduleHalfOpen(j.ProbeTarget)
 }
 
 // noteQueue mirrors computer i's post-removal occupancy into the probe.
@@ -767,6 +811,14 @@ func (ov *overloadRun) finish() *OverloadStats {
 	if ov.timeHist.N() > 0 {
 		q := ov.timeHist.Quantiles(0.50, 0.95, 0.99)
 		s.TimeP50, s.TimeP95, s.TimeP99 = q[0], q[1], q[2]
+	}
+	if ov.cfg.QueueCap > 0 {
+		s.MaxOccupancy = make([]int, len(ov.servers))
+		for i, sv := range ov.servers {
+			if b, ok := sv.(*sim.Bounded); ok {
+				s.MaxOccupancy[i] = b.MaxPresent()
+			}
+		}
 	}
 	return &s
 }

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtChaos runs the chaos-harness study at a reduced scale and
+// checks its structural invariants: every Part A intensity cell ran its
+// scenarios, the pass rate is 100% (any violation is a composition
+// regression, the same signal `cmd/chaos search` gates on), at least
+// one sampled scenario composed all four fault layers, and Part B
+// measured a positive mean response time for both the clean and the
+// composed runs of each policy.
+func TestExtChaos(t *testing.T) {
+	res, err := ExtChaos(Options{Scale: 0.02, Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != len(res.Intensities) {
+		t.Fatalf("Part A rows %d for %d intensities", len(res.Scenarios), len(res.Intensities))
+	}
+	anyFour := false
+	for i, x := range res.Intensities {
+		if res.Scenarios[i] < 15 {
+			t.Errorf("intensity %v: only %d scenarios", x, res.Scenarios[i])
+		}
+		if res.Violated[i] != 0 {
+			t.Errorf("intensity %v: %d scenarios violated an invariant (composition regression)", x, res.Violated[i])
+		}
+		if res.Jobs[i] == 0 {
+			t.Errorf("intensity %v: no jobs checked", x)
+		}
+		if res.FourLayer[i] > 0 {
+			anyFour = true
+		}
+	}
+	if !anyFour {
+		t.Error("no sampled scenario composed all four fault layers")
+	}
+
+	if len(res.CleanMean) != len(res.Policies) || len(res.ChaosMean) != len(res.Policies) {
+		t.Fatalf("Part B rows %d/%d for %d policies", len(res.CleanMean), len(res.ChaosMean), len(res.Policies))
+	}
+	for i, pol := range res.Policies {
+		if !(res.CleanMean[i].Mean > 0) || !(res.ChaosMean[i].Mean > 0) {
+			t.Errorf("%s: mean response not measured (clean %v, composed %v)",
+				pol, res.CleanMean[i].Mean, res.ChaosMean[i].Mean)
+		}
+		if res.ChaosViol[i] != 0 {
+			t.Errorf("%s: %d composed replications violated an invariant", pol, res.ChaosViol[i])
+		}
+		if res.CleanMean[i].N != res.Reps || res.ChaosMean[i].N != res.Reps {
+			t.Errorf("%s: sample sizes %d/%d for %d reps", pol, res.CleanMean[i].N, res.ChaosMean[i].N, res.Reps)
+		}
+	}
+
+	tables := res.Render()
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	a, b := tables[0].String(), tables[1].String()
+	for _, want := range []string{"invariant pass rate", "4-layer scenarios", "100.00", "minimal reproducer"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("Part A table missing %q:\n%s", want, a)
+		}
+	}
+	for _, want := range []string{"policy degradation", "ORR", "ORAN", "degradation x", "identical seeds"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("Part B table missing %q:\n%s", want, b)
+		}
+	}
+}

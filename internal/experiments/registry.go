@@ -122,6 +122,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: r.Render()}, nil
 	},
+	"ext-chaos": func(o Options) (*Output, error) {
+		r, err := ExtChaos(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

@@ -167,6 +167,54 @@ func TestVerifyJSONLViolations(t *testing.T) {
 	}
 }
 
+// TestVerifyJSONLReportsAllViolations: the verifier is not a
+// first-error checker — a stream with several independent defects must
+// come back with every one of them counted, and the recorded details
+// must carry the 1-based line numbers so a reproducer can be pulled out
+// of a multi-megabyte export with sed.
+func TestVerifyJSONLReportsAllViolations(t *testing.T) {
+	// Three independent defects on three distinct lines: job 1 gets a
+	// second terminal (line 4), job 2 never arrived before dispatching
+	// (line 5), and job 3 starts service with no dispatch (line 7).
+	stream := strings.Join([]string{
+		`{"t":1,"kind":"arrival","job":1}`,
+		`{"t":2,"kind":"dispatch","job":1,"target":0}`,
+		`{"t":3,"kind":"departure","job":1,"target":0}`,
+		`{"t":4,"kind":"departure","job":1,"target":0}`,
+		`{"t":5,"kind":"dispatch","job":2,"target":1}`,
+		`{"t":6,"kind":"arrival","job":3}`,
+		`{"t":7,"kind":"service-start","job":3,"target":0}`,
+	}, "\n")
+	st, err := VerifyJSONL(strings.NewReader(stream), false)
+	if err == nil {
+		t.Fatal("verification passed, want violations")
+	}
+	if st.Violations < 3 {
+		t.Fatalf("found %d violations, want at least 3 (details: %v)", st.Violations, st.Details)
+	}
+	if len(st.Details) < 3 {
+		t.Fatalf("recorded %d details, want at least 3", len(st.Details))
+	}
+	wantLines := map[int]bool{4: false, 5: false, 7: false}
+	for _, v := range st.Details {
+		if v.Line <= 0 {
+			t.Errorf("violation %q has no line number", v.Msg)
+		}
+		if _, ok := wantLines[v.Line]; ok {
+			wantLines[v.Line] = true
+		}
+	}
+	for line, seen := range wantLines {
+		if !seen {
+			t.Errorf("no violation recorded for defective line %d (details: %v)", line, st.Details)
+		}
+	}
+	// The error summary points at the first violation and the total.
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not name the first defective line", err)
+	}
+}
+
 // TestVerifyJSONLNetworkEvents: the reliability-loop event kinds verify
 // cleanly in their legal order — a resubmit after a lost dispatch, a
 // deduplicated duplicate before the terminal, and a stale delivery as

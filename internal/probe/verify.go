@@ -7,6 +7,45 @@ import (
 	"io"
 )
 
+// Violation codes, stable identifiers for the class of invariant broken.
+// The chaos harness (internal/chaos) maps these onto its invariant
+// registry; keep them short and mechanical.
+const (
+	VioJSON         = "bad-json"      // undecodable JSONL line
+	VioKind         = "unknown-kind"  // event kind not in the wire set
+	VioTime         = "time-order"    // global event time went backwards
+	VioJobTime      = "job-time"      // per-job event time went backwards
+	VioArrivalDup   = "arrival-dup"   // job arrived twice
+	VioPreArrival   = "pre-arrival"   // job event before its arrival
+	VioPostTerminal = "post-terminal" // non-stale event after a terminal
+	VioNoDispatch   = "no-dispatch"   // service/resubmit/dup without dispatch
+	VioUnterminated = "unterminated"  // arrived job never reached a terminal
+)
+
+// Violation is one broken lifecycle invariant. Line is the 1-based JSONL
+// line number, or 0 when the event was observed in-process (the chaos
+// harness feeds a Verifier directly as an event sink). Job is 0 for
+// violations not tied to a single job.
+type Violation struct {
+	Line int
+	Job  int64
+	Code string
+	Msg  string
+}
+
+// String renders the violation with its location when known.
+func (v Violation) String() string {
+	if v.Line > 0 {
+		return fmt.Sprintf("line %d: %s", v.Line, v.Msg)
+	}
+	return v.Msg
+}
+
+// maxRecordedViolations bounds the violations kept in detail; the total
+// count keeps incrementing past the cap so a pathological stream cannot
+// exhaust memory while still reporting its true violation count.
+const maxRecordedViolations = 100
+
 // VerifyStats summarizes a verified event stream.
 type VerifyStats struct {
 	// Events is the total number of events read.
@@ -28,6 +67,12 @@ type VerifyStats struct {
 	DupJobsTerminated int64
 	// ByKind counts events per kind wire name.
 	ByKind map[string]int64
+	// Violations is the total number of invariant violations found, which
+	// may exceed len(Details) (details are capped).
+	Violations int64
+	// Details holds the first violations in stream order, up to
+	// maxRecordedViolations.
+	Details []Violation
 }
 
 // wireEvent mirrors the JSONL encoding for decoding. Target defaults to
@@ -51,8 +96,8 @@ type jobState struct {
 	dup        bool
 }
 
-// VerifyJSONL reads a JSONL event stream and checks the lifecycle
-// invariants the simulator promises:
+// Verifier replays a lifecycle event stream against the invariants the
+// simulator promises:
 //
 //   - every event kind is known and times are globally non-decreasing;
 //   - a job's first event is its arrival, at most once per job;
@@ -60,103 +105,198 @@ type jobState struct {
 //     service-start ≤ terminal;
 //   - a service start is preceded by a dispatch (or resume);
 //   - every job reaches at most one terminal event, with nothing after
-//     it.
+//     it except deduplicated stale deliveries;
+//   - resubmissions and duplicate deliveries require a prior dispatch.
 //
-// With requireTerminal (a drained run), every arrived job must have
-// reached exactly one terminal event. The first violation is returned
-// with its line number.
+// Unlike a first-error checker it keeps going: every violation is
+// recorded (details capped at maxRecordedViolations, the count exact) so
+// a single pass reports the full damage. A *Verifier is itself an
+// EventWriter, so it can be attached as an in-process probe sink and
+// check a run with no JSONL export — the chaos harness does exactly
+// that.
+type Verifier struct {
+	st    VerifyStats
+	jobs  map[int64]*jobState
+	lastT float64
+	line  int // current JSONL line, 0 when streaming in-process
+}
+
+// NewVerifier returns a fresh streaming verifier.
+func NewVerifier() *Verifier {
+	return &Verifier{st: VerifyStats{ByKind: map[string]int64{}}, jobs: map[int64]*jobState{}}
+}
+
+// report records one violation, keeping the exact count past the detail cap.
+func (v *Verifier) report(job int64, code, format string, args ...interface{}) {
+	v.st.Violations++
+	if len(v.st.Details) < maxRecordedViolations {
+		v.st.Details = append(v.st.Details, Violation{Line: v.line, Job: job, Code: code, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Observe checks one event against the lifecycle invariants.
+func (v *Verifier) Observe(kind EventKind, t float64, job int64) {
+	if int(kind) >= numEventKinds {
+		v.report(job, VioKind, "unknown event kind %d", int(kind))
+		return
+	}
+	v.st.Events++
+	v.st.ByKind[kind.String()]++
+	if t < v.lastT {
+		// Resync to the observed time so one out-of-order event reports
+		// once instead of tainting everything after it.
+		v.report(job, VioTime, "time went backwards (%v after %v)", t, v.lastT)
+	}
+	v.lastT = t
+	if job == 0 {
+		return // computer-level event or sample
+	}
+	js := v.jobs[job]
+	if kind == EvArrival {
+		if js != nil {
+			v.report(job, VioArrivalDup, "job %d arrived twice", job)
+			return
+		}
+		v.jobs[job] = &jobState{lastT: t}
+		v.st.Jobs++
+		return
+	}
+	if js == nil {
+		v.report(job, VioPreArrival, "job %d has %s before arrival", job, kind)
+		return
+	}
+	if js.terminal && kind != EvDupDeliver {
+		// Deduplicated stale deliveries are the one event allowed after
+		// a terminal: a transit copy of a finished job may still land.
+		// Every other kind after a terminal — in particular a second
+		// terminal — breaks exactly-once accounting.
+		v.report(job, VioPostTerminal, "job %d has %s after its terminal event", job, kind)
+		return
+	}
+	if t < js.lastT {
+		v.report(job, VioJobTime, "job %d time went backwards (%v after %v)", job, t, js.lastT)
+	}
+	js.lastT = t
+	switch kind {
+	case EvDispatch:
+		js.dispatched = true
+	case EvServiceStart:
+		if !js.dispatched {
+			v.report(job, VioNoDispatch, "job %d started service without a dispatch", job)
+		}
+	case EvResubmit:
+		if !js.dispatched {
+			v.report(job, VioNoDispatch, "job %d resubmitted without a dispatch", job)
+		}
+		v.st.Resubmits++
+	case EvDupDeliver:
+		if !js.dispatched {
+			v.report(job, VioNoDispatch, "job %d had a duplicate delivery without a dispatch", job)
+		}
+		v.st.DupDeliveries++
+		if js.terminal {
+			v.st.StaleDeliveries++
+		}
+		js.dup = true
+	}
+	if kind.Terminal() {
+		js.terminal = true
+		v.st.Terminated++
+		if js.dup {
+			v.st.DupJobsTerminated++
+		}
+	}
+}
+
+// Write feeds one event from a probe sink; *Verifier satisfies
+// EventWriter so it can be attached directly as Options.Events (or
+// fanned out next to a JSONL exporter).
+func (v *Verifier) Write(e *Event) error {
+	v.Observe(e.Kind, e.T, e.Job)
+	return nil
+}
+
+// Flush satisfies EventWriter; verification has nothing to drain.
+func (v *Verifier) Flush() error { return nil }
+
+// Finish runs the end-of-stream checks and returns the accumulated
+// stats. With requireTerminal (a drained run), every arrived job must
+// have reached exactly one terminal event. Finish may be called once;
+// further Observe calls after it are not checked against it.
+func (v *Verifier) Finish(requireTerminal bool) *VerifyStats {
+	if requireTerminal {
+		v.line = 0 // end-of-stream violations carry no line
+		// Deterministic report order: ascending job ID.
+		var worst int64 = -1
+		open := int64(0)
+		for id, js := range v.jobs {
+			if !js.terminal {
+				open++
+				if worst < 0 || id < worst {
+					worst = id
+				}
+			}
+		}
+		if open > 0 {
+			// One detail for the smallest offending job plus the count;
+			// enumerating every open job of a diverging run adds nothing.
+			v.st.Violations += open - 1
+			v.report(worst, VioUnterminated, "%d jobs arrived but never reached a terminal event (first: job %d)", open, worst)
+		}
+	}
+	return &v.st
+}
+
+// Stats returns the accumulated stats without running final checks.
+func (v *Verifier) Stats() *VerifyStats { return &v.st }
+
+// Err summarizes the violations as an error, nil when the stream is
+// clean so far.
+func (v *Verifier) Err() error {
+	if v.st.Violations == 0 {
+		return nil
+	}
+	first := ""
+	if len(v.st.Details) > 0 {
+		first = v.st.Details[0].String()
+	}
+	if v.st.Violations == 1 {
+		return fmt.Errorf("%s", first)
+	}
+	return fmt.Errorf("%d invariant violations; first: %s", v.st.Violations, first)
+}
+
+// VerifyJSONL reads a JSONL event stream and checks the lifecycle
+// invariants (see Verifier). The whole stream is scanned and every
+// violation collected with its line number — VerifyStats.Violations has
+// the exact count, VerifyStats.Details the first hundred — and the
+// returned error (nil when clean) summarizes the first violation plus
+// the total. A scanner-level read failure is returned as-is.
 func VerifyJSONL(r io.Reader, requireTerminal bool) (*VerifyStats, error) {
-	st := &VerifyStats{ByKind: map[string]int64{}}
-	jobs := map[int64]*jobState{}
+	v := NewVerifier()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	lastT := 0.0
 	for sc.Scan() {
-		line++
+		v.line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
 		var e wireEvent
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return st, fmt.Errorf("line %d: bad JSON: %v", line, err)
+			v.report(0, VioJSON, "bad JSON: %v", err)
+			continue
 		}
 		kind, err := ParseEventKind(e.Kind)
 		if err != nil {
-			return st, fmt.Errorf("line %d: %v", line, err)
-		}
-		st.Events++
-		st.ByKind[e.Kind]++
-		if e.T < lastT {
-			return st, fmt.Errorf("line %d: time went backwards (%v after %v)", line, e.T, lastT)
-		}
-		lastT = e.T
-		if e.Job == 0 {
-			continue // computer-level event or sample
-		}
-		js := jobs[e.Job]
-		if kind == EvArrival {
-			if js != nil {
-				return st, fmt.Errorf("line %d: job %d arrived twice", line, e.Job)
-			}
-			jobs[e.Job] = &jobState{lastT: e.T}
-			st.Jobs++
+			v.report(e.Job, VioKind, "%v", err)
 			continue
 		}
-		if js == nil {
-			return st, fmt.Errorf("line %d: job %d has %s before arrival", line, e.Job, e.Kind)
-		}
-		if js.terminal && kind != EvDupDeliver {
-			// Deduplicated stale deliveries are the one event allowed after
-			// a terminal: a transit copy of a finished job may still land.
-			// Every other kind after a terminal — in particular a second
-			// terminal — breaks exactly-once accounting.
-			return st, fmt.Errorf("line %d: job %d has %s after its terminal event", line, e.Job, e.Kind)
-		}
-		if e.T < js.lastT {
-			return st, fmt.Errorf("line %d: job %d time went backwards (%v after %v)", line, e.Job, e.T, js.lastT)
-		}
-		js.lastT = e.T
-		switch kind {
-		case EvDispatch:
-			js.dispatched = true
-		case EvServiceStart:
-			if !js.dispatched {
-				return st, fmt.Errorf("line %d: job %d started service without a dispatch", line, e.Job)
-			}
-		case EvResubmit:
-			if !js.dispatched {
-				return st, fmt.Errorf("line %d: job %d resubmitted without a dispatch", line, e.Job)
-			}
-			st.Resubmits++
-		case EvDupDeliver:
-			if !js.dispatched {
-				return st, fmt.Errorf("line %d: job %d had a duplicate delivery without a dispatch", line, e.Job)
-			}
-			st.DupDeliveries++
-			if js.terminal {
-				st.StaleDeliveries++
-			}
-			js.dup = true
-		}
-		if kind.Terminal() {
-			js.terminal = true
-			st.Terminated++
-			if js.dup {
-				st.DupJobsTerminated++
-			}
-		}
+		v.Observe(kind, e.T, e.Job)
 	}
 	if err := sc.Err(); err != nil {
-		return st, err
+		return v.Stats(), err
 	}
-	if requireTerminal {
-		for id, js := range jobs {
-			if !js.terminal {
-				return st, fmt.Errorf("job %d arrived but never reached a terminal event", id)
-			}
-		}
-	}
-	return st, nil
+	st := v.Finish(requireTerminal)
+	return st, v.Err()
 }

@@ -41,11 +41,12 @@ type boundedInner interface {
 // The embedding run must call NoteDeparture for every job completing at
 // the inner server, so the admission-order list stays consistent.
 type Bounded struct {
-	inner   boundedInner
-	cap     int
-	drop    DropPolicy
-	onShed  func(*Job)
-	present []*Job // admission order
+	inner      boundedInner
+	cap        int
+	drop       DropPolicy
+	onShed     func(*Job)
+	present    []*Job // admission order
+	maxPresent int    // high-water mark of len(present)
 }
 
 var (
@@ -76,6 +77,11 @@ func (b *Bounded) BusyTime() float64 { return b.inner.BusyTime() }
 // Full reports whether the server is at capacity.
 func (b *Bounded) Full() bool { return len(b.present) >= b.cap }
 
+// MaxPresent returns the high-water mark of jobs present over the run.
+// The cap invariant — MaxPresent() never exceeds the configured
+// capacity — is asserted by the chaos harness's queue-cap check.
+func (b *Bounded) MaxPresent() int { return b.maxPresent }
+
 // Arrive admits a job, shedding per the drop policy when full.
 func (b *Bounded) Arrive(j *Job) {
 	if b.admit(j) {
@@ -95,6 +101,9 @@ func (b *Bounded) Resume(j *Job) {
 func (b *Bounded) admit(j *Job) bool {
 	if len(b.present) < b.cap {
 		b.present = append(b.present, j)
+		if len(b.present) > b.maxPresent {
+			b.maxPresent = len(b.present)
+		}
 		return true
 	}
 	if b.drop == DropNewest {

@@ -42,6 +42,12 @@ type Job struct {
 	Killed bool
 	// Probe marks a circuit-breaker half-open probe dispatch.
 	Probe bool
+	// ProbeTarget is the computer whose breaker this probe tests, valid
+	// only while Probe is set. It is recorded separately from Target
+	// because the network layer rebinds Target to wherever a transit
+	// copy actually lands — the probe's verdict must still reach the
+	// breaker that dispatched it.
+	ProbeTarget int
 	// Finalized marks that the job's terminal outcome has been recorded
 	// (completion, kill, shed, drop, rejection or loss). The run uses it
 	// to guarantee exactly-once terminal accounting when subsystems
@@ -61,6 +67,14 @@ type Job struct {
 	// deduplicated against it. Cleared when the job verifiably leaves its
 	// server (overload timeout, failure requeue) so re-dispatch works.
 	NetAccepted bool
+	// NetEpoch is the job's delivery epoch: bumped whenever the job
+	// verifiably leaves its server and its delivery state is reclaimed.
+	// Transit copies are stamped with the epoch they were sent under, so
+	// a stale duplicate from a superseded dispatch cannot land as a
+	// fresh delivery after the reclaim cleared NetAccepted — without the
+	// stamp, a lagging duplicate re-enters a server the moment the
+	// overload retry loop also owns the job.
+	NetEpoch int
 	// Resubmits counts network-layer resubmissions after ack timeouts or
 	// client-timeout rescues; distinct from Retries (failure requeues)
 	// and Attempts (overload retry/backoff).
