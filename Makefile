@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check race stress vet fmt clean probe-smoke netfault-smoke chaos-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke trace-smoke netfault-smoke chaos-smoke benchcheck bench-baseline
 
 all: build
 
@@ -55,6 +55,24 @@ probe-smoke:
 		-trace probe-out/trace.csv > probe-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest probe-out/manifest.json \
 		-events probe-out/events.jsonl -require-terminal
+
+# trace-smoke runs a short span-instrumented simulation (spans, events,
+# trace CSV, manifest) under network faults — the nastiest assembly path:
+# resubmits, duplicate deliveries, dispatcher crashes — and validates the
+# span export, manifest and event stream with probecheck. CI runs this
+# and uploads trace-out/.
+trace-smoke:
+	mkdir -p trace-out
+	$(GO) run ./cmd/heterosim -speeds 1,1,2,10 -rho 0.7 -policy ORR \
+		-duration 2e4 -reps 1 -probe \
+		-netfault loss:0.05,dup:0.05,lat:2,crash:8000:100,down:buffer \
+		-ackto 30 \
+		-spans trace-out/spans.json -events trace-out/events.jsonl \
+		-manifest trace-out/manifest.json -trace trace-out/trace.csv \
+		> trace-out/report.txt
+	$(GO) run ./cmd/probecheck -manifest trace-out/manifest.json \
+		-events trace-out/events.jsonl -require-terminal \
+		-spans trace-out/spans.json
 
 # netfault-smoke runs a short simulation over an unreliable control plane
 # (loss, duplication, latency, dispatcher crashes with checkpoint

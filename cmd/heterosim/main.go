@@ -50,7 +50,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -89,6 +91,7 @@ func main() {
 	backoff := flag.String("backoff", "", "retry backoff BASE:MAX[:JITTER] in seconds (default 1:60:0)")
 	breaker := flag.String("breaker", "", "per-computer circuit breaker CONSEC:COOLDOWN[:RATIO:WINDOW] (empty disables)")
 	probeFlag := flag.Bool("probe", false, "instrument replication 0 with the metrics registry and report probe tables")
+	spans := flag.String("spans", "", "write rep-0 per-job span trees as Chrome trace-event JSON to this file (Perfetto-viewable)")
 	events := flag.String("events", "", "write the rep-0 lifecycle event stream to this file (JSONL; .csv selects CSV)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (config, seed, git, wall/sim time, final metrics) to this JSON file")
 	sampleDT := flag.Float64("sample-dt", 0, "also sample probe series every this many simulated seconds (0 = event boundaries only; implies -probe)")
@@ -112,16 +115,21 @@ func main() {
 	}
 	pp := cli.ProbeParams{
 		Probe: *probeFlag, Events: *events, Manifest: *manifestPath,
-		SampleDT: *sampleDT, DebugAddr: *debugAddr,
+		SampleDT: *sampleDT, DebugAddr: *debugAddr, Spans: *spans,
 	}
 	if err := pp.Validate(); err != nil {
 		fatal(err)
 	}
 	if pp.DebugAddr != "" {
-		addr, _, err := probe.ServeDebug(pp.DebugAddr)
+		addr, _, errc, err := probe.ServeDebug(pp.DebugAddr)
 		if err != nil {
 			fatal(err)
 		}
+		go func() {
+			if serr := <-errc; serr != nil {
+				fmt.Fprintln(os.Stderr, "heterosim: debug server:", serr)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", addr)
 	}
 	faultCfg, mode, err := cli.FaultParams{
@@ -185,6 +193,7 @@ func main() {
 	// runs below stay parallel and instrumentation-free.
 	instrumented := pp.Active() || *traceFile != ""
 	var pb *probe.Probe
+	var tres *cluster.Result
 	if instrumented {
 		var cleanup func() error
 		pb, cleanup, err = pp.Build()
@@ -200,12 +209,24 @@ func main() {
 				fatal(err)
 			}
 			tw = trace.NewWriter(tf)
-			tcfg.OnFinal = func(j *sim.Job, o cluster.Outcome) { _ = tw.RecordFinal(j, o) }
+			if pb.SpansOn() {
+				// The span layer closes a job's span before OnFinal fires,
+				// so LastFinal serves this callback the decomposition.
+				tcfg.OnFinal = func(j *sim.Job, o cluster.Outcome) {
+					if c, ok := pb.LastFinal(j.ID); ok {
+						_ = tw.RecordFinalComponents(j, o, c.Queue, c.Service, c.Net, c.Retry)
+						return
+					}
+					_ = tw.RecordFinal(j, o)
+				}
+			} else {
+				tcfg.OnFinal = func(j *sim.Job, o cluster.Outcome) { _ = tw.RecordFinal(j, o) }
+			}
 		}
 		if pb != nil {
 			probe.PublishLive(pb)
 		}
-		if _, err := cluster.Run(tcfg, factory()); err != nil {
+		if tres, err = cluster.Run(tcfg, factory()); err != nil {
 			fatal(err)
 		}
 		if err := cleanup(); err != nil {
@@ -222,6 +243,9 @@ func main() {
 		}
 		if pp.Events != "" {
 			fmt.Fprintf(os.Stderr, "events written to %s\n", pp.Events)
+		}
+		if pp.Spans != "" {
+			fmt.Fprintf(os.Stderr, "spans written to %s\n", pp.Spans)
 		}
 	}
 
@@ -386,6 +410,64 @@ func main() {
 				fatal(err)
 			}
 		}
+		if tot := pb.SpanTotals(); pb.SpansOn() && tot.N > 0 {
+			n := float64(tot.N)
+			fmt.Println()
+			dt := report.NewTable("T̄ decomposition (instrumented rep-0 pass, counted jobs)",
+				"component", "mean (s)", "share %")
+			dt.AddRow("queue wait", report.F(tot.Queue/n), report.Pct(tot.Queue/tot.Total()))
+			dt.AddRow("service", report.F(tot.Service/n), report.Pct(tot.Service/tot.Total()))
+			dt.AddRow("network", report.F(tot.Net/n), report.Pct(tot.Net/tot.Total()))
+			dt.AddRow("retry/backoff", report.F(tot.Retry/n), report.Pct(tot.Retry/tot.Total()))
+			dt.AddRow("T̄ = queue + service + net + retry", report.F(tot.Total()/n), report.Pct(1))
+			residual := math.Abs(tot.Total()/n - tres.MeanResponseTime)
+			dt.AddNote("components sum to the measured mean response time %s within %.3g s",
+				report.F(tres.MeanResponseTime), residual)
+			if _, err := dt.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+
+			fmt.Println()
+			ct := report.NewTable("per-computer decomposition (counted jobs, mean seconds)",
+				"computer", "jobs", "queue", "service", "net", "retry")
+			byComp := pb.SpanByComputer()
+			for i, s := range byComp {
+				if s.N == 0 {
+					continue
+				}
+				name := strconv.Itoa(i + 1)
+				if i == len(byComp)-1 {
+					name = "(undispatched)"
+				}
+				cn := float64(s.N)
+				ct.AddRow(name, strconv.FormatInt(s.N, 10), report.F(s.Queue/cn),
+					report.F(s.Service/cn), report.F(s.Net/cn), report.F(s.Retry/cn))
+			}
+			if _, err := ct.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+
+			byCause := pb.SpanByCause()
+			if len(byCause) > 1 {
+				causes := make([]string, 0, len(byCause))
+				for c := range byCause {
+					causes = append(causes, c)
+				}
+				sort.Strings(causes)
+				fmt.Println()
+				xt := report.NewTable("per-outcome decomposition (all finalized jobs, mean seconds)",
+					"outcome", "jobs", "queue", "service", "net", "retry")
+				for _, c := range causes {
+					s := byCause[c]
+					cn := float64(s.N)
+					xt.AddRow(c, strconv.FormatInt(s.N, 10), report.F(s.Queue/cn),
+						report.F(s.Service/cn), report.F(s.Net/cn), report.F(s.Retry/cn))
+				}
+				if _, err := xt.WriteTo(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		}
 	}
 
 	if pp.Manifest != "" {
@@ -448,6 +530,12 @@ func main() {
 				m.Metrics[k] = v
 			}
 			m.Events = pb.EventCountMap()
+			if pb.SpansOn() {
+				ss := probe.NewSpanSchema(len(speeds), pp.Spans)
+				ss.Roots = pb.SpanCount()
+				ss.Counted = pb.SpanTotals().N
+				m.Spans = ss
+			}
 		}
 		if err := m.WriteFile(pp.Manifest); err != nil {
 			fatal(err)

@@ -23,6 +23,14 @@
 // reach a terminal event — appropriate for drained runs, which all
 // front ends produce.
 //
+// With -spans, a Chrome trace-event JSON span export (the producing
+// side's -spans flag) is validated for well-formedness: every job has
+// exactly one terminal "job" root span, child phase spans nest inside
+// their root's bounds, no span has a negative or non-finite duration,
+// and each root's queue/service/net/retry components sum to its
+// duration. When a manifest is also given, its spans section must agree
+// with the export's root count.
+//
 // Only JSONL streams are verified; CSV event files (an -events path
 // with a .csv suffix on the producing side) are for spreadsheet import
 // and carry the same rows without the verification support.
@@ -39,21 +47,54 @@ import (
 func main() {
 	manifestPath := flag.String("manifest", "", "run manifest JSON to validate")
 	eventsPath := flag.String("events", "", "JSONL lifecycle event stream to verify")
+	spansPath := flag.String("spans", "", "Chrome trace-event JSON span export to validate")
 	requireTerminal := flag.Bool("require-terminal", false, "require every arrived job to reach a terminal event")
 	flag.Parse()
 
-	if *manifestPath == "" && *eventsPath == "" {
-		fmt.Fprintln(os.Stderr, "probecheck: nothing to check (want -manifest and/or -events)")
+	if *manifestPath == "" && *eventsPath == "" && *spansPath == "" {
+		fmt.Fprintln(os.Stderr, "probecheck: nothing to check (want -manifest, -events and/or -spans)")
 		os.Exit(2)
 	}
 
+	var manifest *probe.Manifest
 	if *manifestPath != "" {
 		m, err := probe.ReadManifest(*manifestPath)
 		if err != nil {
 			fatal(err)
 		}
+		manifest = m
 		fmt.Printf("manifest %s: ok (tool %s, schema %d, seed %d, %d metrics, sim time %.4g s)\n",
 			*manifestPath, m.Tool, m.Schema, m.Seed, len(m.Metrics), m.SimTime)
+		if m.Spans != nil {
+			fmt.Printf("manifest %s: spans section ok (format %s, %d rows, %d roots, %d counted)\n",
+				*manifestPath, m.Spans.Format, len(m.Spans.Rows), m.Spans.Roots, m.Spans.Counted)
+		}
+	}
+
+	if *spansPath != "" {
+		f, err := os.Open(*spansPath)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := probe.VerifySpans(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			fatal(cerr)
+		}
+		if err != nil {
+			for _, v := range st.Details {
+				fmt.Fprintf(os.Stderr, "probecheck: %s: %s\n", *spansPath, v)
+			}
+			fmt.Printf("spans %s: FAILED (%d violations in %d events, %d jobs, %d roots)\n",
+				*spansPath, st.Violations, st.Events, st.Jobs, st.Roots)
+			os.Exit(1)
+		}
+		fmt.Printf("spans %s: ok (%d events, %d jobs, %d roots, %d child spans, 0 violations)\n",
+			*spansPath, st.Events, st.Jobs, st.Roots, st.Children)
+		if manifest != nil && manifest.Spans != nil && manifest.Spans.Roots != st.Roots {
+			fmt.Printf("spans %s: FAILED (manifest declares %d roots, export has %d)\n",
+				*spansPath, manifest.Spans.Roots, st.Roots)
+			os.Exit(1)
+		}
 	}
 
 	if *eventsPath != "" {

@@ -49,6 +49,7 @@ import (
 	"heterosched/internal/netfault"
 	"heterosched/internal/probe"
 	"heterosched/internal/report"
+	"heterosched/internal/stats"
 )
 
 func main() {
@@ -113,10 +114,15 @@ func main() {
 		}
 	}
 	if pp.DebugAddr != "" {
-		addr, _, err := probe.ServeDebug(pp.DebugAddr)
+		addr, _, errc, err := probe.ServeDebug(pp.DebugAddr)
 		if err != nil {
 			fatal(err)
 		}
+		go func() {
+			if serr := <-errc; serr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: debug server:", serr)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", addr)
 	}
 	faultCfg, mode, err := cli.FaultParams{
@@ -266,11 +272,13 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		degT = report.NewTable("mean response time in degraded windows (s)", headers...)
 	}
 	withOverload := ovCfg.Enabled()
-	var goodT, dropT, missT *report.Table
+	var goodT, dropT, missT, pctT *report.Table
 	if withOverload {
 		goodT = report.NewTable("goodput (jobs completed in time, sum across replications)", headers...)
 		dropT = report.NewTable("jobs dropped (shed + retry budget + deadline kills)", headers...)
 		missT = report.NewTable("deadline misses (killed + late)", headers...)
+		pctT = report.NewTable("resp time p50/p90/p99/p999 (s, streaming histograms merged across replications)", headers...)
+		pctT.AddNote("log-bucketed bins (no retained samples): each quantile carries relative error at most the bin-edge ratio minus one, ~6%% for the 400-bin [1e-3,1e7) geometry")
 	}
 	withNetfault := nfCfg.Enabled()
 	var netT, resubT *report.Table
@@ -286,6 +294,11 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		cvT = report.NewTable("interarrival CV (mean across computers, instrumented pass)", headers...)
 		cvT.AddNote("the paper's §3 burstiness measurement: round-robin splitting smooths each computer's arrival substream, probabilistic splitting does not")
 	}
+	var decompT *report.Table
+	if withProbe {
+		decompT = report.NewTable("T̄ decomposition (% queue / service / net / retry, instrumented pass)", headers...)
+		decompT.AddNote("per-component share of mean response time from the probe span layer; components sum to T̄ per job")
+	}
 	for _, rho := range rhos {
 		rowR := []string{report.F(rho)}
 		rowT := []string{report.F(rho)}
@@ -298,6 +311,8 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		rowN := []string{report.F(rho)}
 		rowS := []string{report.F(rho)}
 		rowC := []string{report.F(rho)}
+		rowP := []string{report.F(rho)}
+		rowDC := []string{report.F(rho)}
 		for k, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
@@ -330,6 +345,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 					rowG = append(rowG, "-")
 					rowX = append(rowX, "-")
 					rowM = append(rowM, "-")
+					rowP = append(rowP, "-")
 				}
 				if withNetfault {
 					rowN = append(rowN, "-")
@@ -337,6 +353,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				}
 				if cvT != nil {
 					rowC = append(rowC, "-")
+				}
+				if decompT != nil {
+					rowDC = append(rowDC, "-")
 				}
 				continue
 			}
@@ -355,6 +374,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowG = append(rowG, strconv.FormatInt(ov.Goodput, 10))
 				rowX = append(rowX, strconv.FormatInt(ov.Dropped(), 10))
 				rowM = append(rowM, strconv.FormatInt(ov.DeadlineMisses, 10))
+				rowP = append(rowP, mergedPercentiles(res.Runs))
 			}
 			if withNetfault {
 				var nf cluster.NetfaultStats
@@ -365,15 +385,26 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowS = append(rowS, strconv.FormatInt(nf.Resubmits, 10))
 			}
 			if withProbe {
-				meanCV, err := probeCell(cfg, f, names[k], rho, pp)
+				meanCV, tot, err := probeCell(cfg, f, names[k], rho, pp)
 				if err != nil {
 					skipped = append(skipped, fmt.Sprintf("%s at rho=%s (probe pass): %v", names[k], report.F(rho), err))
 					if cvT != nil {
 						rowC = append(rowC, "-")
 					}
-				} else if cvT != nil {
-					rowC = append(rowC, report.F(meanCV))
-					probeMetrics[fmt.Sprintf("interarrival_cv.%s.rho%s", names[k], report.F(rho))] = meanCV
+					if decompT != nil {
+						rowDC = append(rowDC, "-")
+					}
+				} else {
+					if cvT != nil {
+						rowC = append(rowC, report.F(meanCV))
+						probeMetrics[fmt.Sprintf("interarrival_cv.%s.rho%s", names[k], report.F(rho))] = meanCV
+					}
+					if decompT != nil {
+						rowDC = append(rowDC, decompCell(tot))
+						if tot.N > 0 {
+							probeMetrics[fmt.Sprintf("queue_share.%s.rho%s", names[k], report.F(rho))] = tot.Queue / tot.Total()
+						}
+					}
 				}
 			}
 		}
@@ -388,6 +419,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			goodT.AddRow(rowG...)
 			dropT.AddRow(rowX...)
 			missT.AddRow(rowM...)
+			pctT.AddRow(rowP...)
 		}
 		if withNetfault {
 			netT.AddRow(rowN...)
@@ -395,6 +427,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		}
 		if cvT != nil {
 			cvT.AddRow(rowC...)
+		}
+		if decompT != nil {
+			decompT.AddRow(rowDC...)
 		}
 	}
 	note := fmt.Sprintf("%d replications × %.3g s per point, arrival CV %.3g", reps, duration, cv)
@@ -417,7 +452,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		tables = append(tables, lostT, degT)
 	}
 	if withOverload {
-		tables = append(tables, goodT, dropT, missT)
+		tables = append(tables, goodT, dropT, missT, pctT)
 	}
 	if withNetfault {
 		tables = append(tables, netT, resubT)
@@ -425,39 +460,87 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	if cvT != nil {
 		tables = append(tables, cvT)
 	}
+	if decompT != nil {
+		tables = append(tables, decompT)
+	}
 	return tables, ratio, probeMetrics, nil
 }
 
+// mergedPercentiles merges the replications' streaming response-time
+// histograms (same geometry by construction — one overload layer
+// configuration per sweep) and formats p50/p90/p99/p999. Merging into
+// the first replication's histogram is safe: its exact TimeP* fields
+// were computed at finish time and the histogram is not reused.
+func mergedPercentiles(runs []*cluster.Result) string {
+	var acc *stats.Histogram
+	for _, run := range runs {
+		if run.Overload == nil || run.Overload.TimeHist == nil {
+			continue
+		}
+		if acc == nil {
+			acc = run.Overload.TimeHist
+			continue
+		}
+		if err := acc.Merge(run.Overload.TimeHist); err != nil {
+			return "-"
+		}
+	}
+	if acc == nil || acc.N() == 0 {
+		return "-"
+	}
+	qs := acc.Quantiles(0.50, 0.90, 0.99, 0.999)
+	return fmt.Sprintf("%s / %s / %s / %s",
+		report.F(qs[0]), report.F(qs[1]), report.F(qs[2]), report.F(qs[3]))
+}
+
+// decompCell formats a span aggregate as per-component percent shares
+// of the summed response time.
+func decompCell(tot probe.SpanStats) string {
+	if tot.N == 0 {
+		return "-"
+	}
+	t := tot.Total()
+	if t <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f / %.0f / %.0f / %.0f",
+		100*tot.Queue/t, 100*tot.Service/t, 100*tot.Net/t, 100*tot.Retry/t)
+}
+
 // probeCell runs one instrumented pass for a sweep cell (policy × rho)
-// and returns the gap-weighted mean interarrival CV across computers.
-// With an events directory configured it writes the cell's lifecycle
-// stream to "<dir>/<policy>-rho<rho>.jsonl".
-func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho float64, pp cli.ProbeParams) (float64, error) {
+// and returns the gap-weighted mean interarrival CV across computers
+// plus the span layer's T̄ decomposition over counted jobs. With an
+// events directory configured it writes the cell's lifecycle stream to
+// "<dir>/<policy>-rho<rho>.jsonl".
+func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho float64, pp cli.ProbeParams) (float64, probe.SpanStats, error) {
 	var w probe.EventWriter
 	var ef *os.File
 	if pp.Events != "" {
 		var err error
 		ef, err = os.Create(filepath.Join(pp.Events, fmt.Sprintf("%s-rho%s.jsonl", name, report.F(rho))))
 		if err != nil {
-			return 0, err
+			return 0, probe.SpanStats{}, err
 		}
 		w = probe.NewJSONLWriter(ef)
 	}
-	pb, err := probe.New(probe.Options{Metrics: pp.Probe || pp.SampleDT > 0, SampleDT: pp.SampleDT, Events: w})
+	pb, err := probe.New(probe.Options{Metrics: pp.Probe || pp.SampleDT > 0, SampleDT: pp.SampleDT, Events: w, Spans: true})
 	if err != nil {
-		return 0, err
+		return 0, probe.SpanStats{}, err
 	}
 	probe.PublishLive(pb)
+	// Cells run back to back: release this cell's probe from the debug
+	// endpoint once done so the live view always tracks the current cell.
+	defer probe.UnpublishLive(pb)
 	cfg.Probe = pb
 	if _, err := cluster.Run(cfg, f()); err != nil {
-		return 0, err
+		return 0, probe.SpanStats{}, err
 	}
 	if err := pb.Flush(); err != nil {
-		return 0, err
+		return 0, probe.SpanStats{}, err
 	}
 	if ef != nil {
 		if err := ef.Close(); err != nil {
-			return 0, err
+			return 0, probe.SpanStats{}, err
 		}
 	}
 	var sum, n float64
@@ -469,9 +552,9 @@ func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho flo
 		}
 	}
 	if n == 0 {
-		return 0, nil
+		return 0, pb.SpanTotals(), nil
 	}
-	return sum / n, nil
+	return sum / n, pb.SpanTotals(), nil
 }
 
 func fatal(err error) {

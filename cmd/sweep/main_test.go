@@ -126,8 +126,8 @@ func TestRunSweepWithOverload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 6 {
-		t.Fatalf("got %d tables, want 6 (3 metrics + goodput + drops + misses)", len(tables))
+	if len(tables) != 7 {
+		t.Fatalf("got %d tables, want 7 (3 metrics + goodput + drops + misses + streaming percentiles)", len(tables))
 	}
 	good := tables[3].String()
 	if !strings.Contains(good, "goodput") {
@@ -135,6 +135,9 @@ func TestRunSweepWithOverload(t *testing.T) {
 	}
 	if drops := tables[4].String(); !strings.Contains(drops, "dropped") {
 		t.Errorf("missing drops table:\n%s", drops)
+	}
+	if pct := tables[6].String(); !strings.Contains(pct, "p50/p90/p99/p999") {
+		t.Errorf("missing streaming percentile table:\n%s", pct)
 	}
 }
 
@@ -153,8 +156,8 @@ func TestRunSweepWithProbe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 4 {
-		t.Fatalf("got %d tables, want 4 (3 metrics + interarrival CV)", len(tables))
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5 (3 metrics + interarrival CV + decomposition)", len(tables))
 	}
 	if s := tables[3].String(); !strings.Contains(s, "interarrival CV") {
 		t.Errorf("missing CV table:\n%s", s)

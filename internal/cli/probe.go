@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bufio"
 	"fmt"
 	"math"
 	"os"
@@ -29,6 +30,11 @@ type ProbeParams struct {
 	// DebugAddr, when non-empty, serves expvar and pprof on this address
 	// for the lifetime of the process (e.g. "localhost:6060").
 	DebugAddr string
+	// Spans is the Chrome trace-event JSON output path for per-job span
+	// trees (viewable in Perfetto / chrome://tracing). Empty disables the
+	// export; span assembly itself also runs whenever Probe is set, so
+	// the T̄ decomposition tables print without the file.
+	Spans string
 }
 
 // Validate checks the observability flags.
@@ -44,7 +50,7 @@ func (p ProbeParams) Validate() error {
 // manifest alone records configuration and the paper metrics without
 // instrumenting the run.)
 func (p ProbeParams) Active() bool {
-	return p.Probe || p.Events != "" || p.SampleDT > 0
+	return p.Probe || p.Events != "" || p.SampleDT > 0 || p.Spans != ""
 }
 
 // NewEventWriter picks the exporter for an event-stream path: CSV when
@@ -77,15 +83,53 @@ func (p ProbeParams) Build() (*probe.Probe, func() error, error) {
 		}
 		w = NewEventWriter(p.Events, f)
 	}
-	pb, err := probe.New(probe.Options{Metrics: p.Probe, SampleDT: p.SampleDT, Events: w})
+	var tw *probe.ChromeTraceWriter
+	var sf *os.File
+	var sb *bufio.Writer
+	if p.Spans != "" {
+		var err error
+		sf, err = os.Create(p.Spans)
+		if err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return nil, nil, fmt.Errorf("-spans: %v", err)
+		}
+		sb = bufio.NewWriterSize(sf, 1<<16)
+		tw = probe.NewChromeTraceWriter(sb)
+	}
+	opts := probe.Options{
+		Metrics: p.Probe, SampleDT: p.SampleDT, Events: w,
+		Spans: p.Probe || p.Spans != "",
+	}
+	if tw != nil { // avoid a typed-nil SpanSink turning span export on
+		opts.SpanSink = tw
+	}
+	pb, err := probe.New(opts)
 	if err != nil {
 		if f != nil {
 			f.Close()
+		}
+		if sf != nil {
+			sf.Close()
 		}
 		return nil, nil, err
 	}
 	cleanup := func() error {
 		err := pb.Flush()
+		if tw != nil {
+			if cerr := tw.Close(); err == nil {
+				err = cerr
+			}
+			if cerr := sb.Flush(); err == nil {
+				err = cerr
+			}
+		}
+		if sf != nil {
+			if cerr := sf.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if f != nil {
 			if cerr := f.Close(); err == nil {
 				err = cerr

@@ -545,6 +545,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	if pb != nil {
 		pb.Start(n, 0)
 	}
+	// Span layer (tracing v2): per-job response-time decomposition. Like
+	// every probe facility it is gated — spans-off runs make none of the
+	// span hook calls below, so they stay bit-identical and pay nothing.
+	spansOn := pb != nil && pb.SpansOn()
+	if spansOn {
+		pb.StartSpans(cfg.Speeds, terminalCauses())
+	}
 
 	// Network/control-plane faults. Gated on an enabled config like
 	// every other subsystem: a disabled config derives no substreams,
@@ -606,6 +613,13 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		if pb != nil {
 			kind, cause := o.probeEvent()
 			pb.Emit(probe.Event{T: en.Now(), Kind: kind, Job: j.ID, Target: j.Target, Cause: cause, Attempt: j.Attempts + j.Retries})
+			if spansOn {
+				// Close the job's span before OnFinal so the callback can
+				// fetch the decomposition via LastFinal. counted mirrors
+				// the respTime filter exactly: completed jobs arriving
+				// after warmup are the ones T̄ averages.
+				pb.SpanFinal(j, cause, o.Completed(), o.Completed() && j.Arrival >= warmup, en.Now())
+			}
 		}
 		if cfg.OnFinal != nil && j.Arrival >= warmup {
 			cfg.OnFinal(j, o)
@@ -869,15 +883,24 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 				if !j.Finalized {
 					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: i})
 				}
+				if spansOn {
+					pb.SpanServe(i, j, en.Now())
+				}
 			}
 			hooks.OnEvict = func(i int, j *sim.Job) {
 				if !j.Finalized {
 					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvEvict, Job: j.ID, Target: i})
 				}
+				if spansOn {
+					pb.SpanEvict(i, j, en.Now())
+				}
 			}
 			hooks.OnResume = func(i int, j *sim.Job) {
 				if !j.Finalized {
 					pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvResume, Job: j.ID, Target: i})
+				}
+				if spansOn {
+					pb.SpanServe(i, j, en.Now())
 				}
 			}
 		}
@@ -911,12 +934,18 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	deliverTo := func(target int, j *sim.Job) {
 		if pb != nil {
 			pb.NoteDelivery(target, en.Now())
+			if spansOn {
+				pb.SpanArrive(target, j, en.Now())
+			}
 		}
 		if inj != nil {
 			inj.Arrive(target, j)
 		} else {
 			if pb != nil && !j.Finalized {
 				pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvServiceStart, Job: j.ID, Target: target})
+			}
+			if spansOn {
+				pb.SpanServe(target, j, en.Now())
 			}
 			servers[target].Arrive(j)
 		}
@@ -928,6 +957,20 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	if nf != nil {
 		nf.deliver = deliverTo
 		sendTo = func(target int, j *sim.Job) { nf.send(target, j, true) }
+	}
+	if spansOn {
+		// Every dispatch path — first dispatch, overload retry, failure
+		// requeue, netfault redispatch — routes through the sendTo var
+		// (closures capture it by reference), so one wrapper marks the
+		// span's transition onto the network. Installed before the
+		// overload wiring below, which copies the value into ov.arrive.
+		// The netfault failover path calls nf.send directly and hooks the
+		// span explicitly in failoverSend.
+		inner := sendTo
+		sendTo = func(target int, j *sim.Job) {
+			pb.SpanSend(j, en.Now())
+			inner(target, j)
+		}
 	}
 
 	if ov != nil {
@@ -1049,6 +1092,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 			inSystem++
 			trackSys()
+			if spansOn {
+				pb.SpanSend(j, en.Now())
+			}
 			nf.send(target, j, false)
 		}
 		nf.start()
@@ -1129,6 +1175,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		j.Target = -1
 		if pb != nil {
 			pb.Emit(probe.Event{T: now, Kind: probe.EvArrival, Job: j.ID, Target: -1})
+			if spansOn {
+				pb.SpanAdmit(j, now)
+			}
 		}
 		if nf != nil && nf.interceptArrival(j) {
 			return // dropped, buffered or failed over while down

@@ -513,6 +513,9 @@ func (nf *netfaultRun) resubmit(j *sim.Job, cause string) {
 	d := nf.backoff(j)
 	if nf.pb != nil {
 		nf.pb.Emit(probe.Event{T: nf.en.Now(), Kind: probe.EvResubmit, Job: j.ID, Target: j.Target, Cause: cause, Attempt: j.Resubmits, Value: d})
+		// Span: the in-flight copy is presumed lost; the job is back at
+		// the dispatcher for backoff (no-op unless spans are on).
+		nf.pb.SpanResubmit(j, nf.en.Now())
 	}
 	// The dispatcher believes the job never reached (or left) its
 	// computer: release the policy's load accounting before re-selecting.

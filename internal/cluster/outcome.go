@@ -83,6 +83,17 @@ func (o Outcome) Completed() bool {
 	return o == OutcomeCompleted || o == OutcomeLate
 }
 
+// terminalCauses lists every cause string probeEvent can report, in
+// outcome order, for pre-registering allocation-free per-cause span
+// aggregates.
+func terminalCauses() []string {
+	out := make([]string, numOutcomes)
+	for o := Outcome(0); o < numOutcomes; o++ {
+		_, out[o] = o.probeEvent()
+	}
+	return out
+}
+
 // probeEvent maps an outcome to its terminal lifecycle event kind and
 // cause string.
 func (o Outcome) probeEvent() (probe.EventKind, string) {

@@ -246,6 +246,12 @@ type OverloadStats struct {
 	// TimeP50/P95/P99 are response-time percentile estimates (seconds)
 	// over post-warm-up completed jobs, from a log-binned histogram.
 	TimeP50, TimeP95, TimeP99 float64
+	// TimeHist is the streaming response-time histogram those estimates
+	// came from. Replications share one geometry, so callers can Merge
+	// them for pooled tail percentiles (p50/p90/p99/p999) across reps
+	// without anyone retaining raw samples. Mutating it invalidates the
+	// TimeP* fields; treat it as read-or-merge-only.
+	TimeHist *stats.Histogram
 	// MaxOccupancy[i] is the high-water mark of jobs present at computer
 	// i (in service plus queued); nil unless QueueCap bounded the
 	// queues. By construction it can never exceed QueueCap — the chaos
@@ -494,6 +500,9 @@ func (ov *overloadRun) timeout(j *sim.Job) {
 	if ov.pb != nil {
 		ov.pb.Emit(probe.Event{T: ov.en.Now(), Kind: probe.EvTimeout, Job: j.ID, Target: j.Target})
 		ov.noteQueue(j.Target)
+		// Span: the job is back at the dispatcher for retry/backoff
+		// (no-op unless the span layer is on).
+		ov.pb.SpanReturn(j, ov.en.Now())
 	}
 	ov.noteFailure(j.Target)
 	if j.Probe {
@@ -812,6 +821,10 @@ func (ov *overloadRun) finish() *OverloadStats {
 		q := ov.timeHist.Quantiles(0.50, 0.95, 0.99)
 		s.TimeP50, s.TimeP95, s.TimeP99 = q[0], q[1], q[2]
 	}
+	// Hand the streaming histogram itself to the caller: replications
+	// Merge these (identical geometry) for pooled tail percentiles
+	// without any run retaining samples.
+	s.TimeHist = ov.timeHist
 	if ov.cfg.QueueCap > 0 {
 		s.MaxOccupancy = make([]int, len(ov.servers))
 		for i, sv := range ov.servers {

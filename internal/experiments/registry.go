@@ -129,6 +129,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: r.Render()}, nil
 	},
+	"ext-tracepath": func(o Options) (*Output, error) {
+		r, err := ExtTracepath(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: []*report.Table{r.Render()}}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

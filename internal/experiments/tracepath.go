@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heterosched/internal/cluster"
+	"heterosched/internal/probe"
+	"heterosched/internal/report"
+	"heterosched/internal/sched"
+)
+
+// TracepathCV is the arrival-process coefficient of variation used by
+// ext-tracepath: bursty enough that queueing, not service, dominates the
+// policy gap.
+const TracepathCV = 3.0
+
+// TracepathRhos are the utilization points of the decomposition study.
+var TracepathRhos = []float64{0.70, 0.90}
+
+// TracepathRow is one (rho, policy) cell: mean response time and its
+// additive critical-path decomposition, averaged over counted jobs
+// across all replications.
+type TracepathRow struct {
+	Rho    float64
+	Policy string
+	// Stats holds component sums over counted jobs; divide by Stats.N
+	// for means. Stats.Total()/N equals the measured mean response time
+	// (the span layer's exact-additivity invariant).
+	Stats probe.SpanStats
+}
+
+// TracepathResult is the critical-path attribution of the ORR-vs-ORAN
+// gap under bursty arrivals.
+type TracepathResult struct {
+	Rows []TracepathRow
+	Reps int
+}
+
+// ExtTracepath answers "where does ORR's advantage over ORAN come from?"
+// with the span layer's per-job time decomposition: both policies use
+// the same optimized allocation, so service time is identical in
+// distribution and any gap must show up in a specific component. Each
+// (rho, policy) point runs with spans on and accumulates the counted
+// component sums across replications; T̄ = queue + service (+ net +
+// retry, zero without a fault layer) holds exactly per cell.
+func ExtTracepath(o Options) (*TracepathResult, error) {
+	o = o.withDefaults()
+	res := &TracepathResult{Reps: o.Reps}
+	policies := []struct {
+		label   string
+		factory cluster.PolicyFactory
+	}{
+		{"ORR", func() cluster.Policy { return sched.ORR() }},
+		{"ORAN", func() cluster.Policy { return sched.ORAN() }},
+	}
+	for _, rho := range TracepathRhos {
+		for _, pol := range policies {
+			var acc probe.SpanStats
+			for rep := 0; rep < o.Reps; rep++ {
+				p, err := probe.New(probe.Options{Spans: true})
+				if err != nil {
+					return nil, fmt.Errorf("ext-tracepath rho=%v %s: %w", rho, pol.label, err)
+				}
+				cfg := cluster.Config{
+					Speeds:      BaseSpeeds(),
+					Utilization: rho,
+					ArrivalCV:   TracepathCV,
+					Duration:    o.duration(),
+					Seed:        o.Seed + uint64(rep),
+					Probe:       p,
+				}
+				if _, err := cluster.Run(cfg, pol.factory()); err != nil {
+					return nil, fmt.Errorf("ext-tracepath rho=%v %s rep %d: %w", rho, pol.label, rep, err)
+				}
+				t := p.SpanTotals()
+				acc.N += t.N
+				acc.Queue += t.Queue
+				acc.Service += t.Service
+				acc.Net += t.Net
+				acc.Retry += t.Retry
+			}
+			res.Rows = append(res.Rows, TracepathRow{Rho: rho, Policy: pol.label, Stats: acc})
+			n := float64(acc.N)
+			o.logf("ext-tracepath: rho=%v %s T=%.4g queue=%.4g service=%.4g",
+				rho, pol.label, acc.Total()/n, acc.Queue/n, acc.Service/n)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the decomposition with a gap-attribution summary: for
+// each rho, what fraction of the ORR-vs-ORAN mean-response gap is
+// queue-wait?
+func (r *TracepathResult) Render() *report.Table {
+	t := report.NewTable(
+		"extension — critical-path decomposition of the ORR-vs-ORAN gap (base config, arrival CV=3)",
+		"rho", "policy", "T̄ (s)", "queue", "service", "net", "retry")
+	byRho := map[float64][2]TracepathRow{}
+	for _, row := range r.Rows {
+		n := float64(row.Stats.N)
+		if n == 0 {
+			t.AddRow(report.F(row.Rho), row.Policy, "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(report.F(row.Rho), row.Policy,
+			report.F(row.Stats.Total()/n),
+			report.F(row.Stats.Queue/n),
+			report.F(row.Stats.Service/n),
+			report.F(row.Stats.Net/n),
+			report.F(row.Stats.Retry/n))
+		pair := byRho[row.Rho]
+		if row.Policy == "ORR" {
+			pair[0] = row
+		} else {
+			pair[1] = row
+		}
+		byRho[row.Rho] = pair
+	}
+	for _, rho := range TracepathRhos {
+		pair, ok := byRho[rho]
+		if !ok || pair[0].Stats.N == 0 || pair[1].Stats.N == 0 {
+			continue
+		}
+		orr, oran := pair[0].Stats, pair[1].Stats
+		dT := oran.Total()/float64(oran.N) - orr.Total()/float64(orr.N)
+		dQ := oran.Queue/float64(oran.N) - orr.Queue/float64(orr.N)
+		if dT > 0 {
+			t.AddNote("rho=%.2f: ORAN is %.4g s slower; queue wait accounts for %.0f%% of the gap (Δqueue/ΔT̄)",
+				rho, dT, 100*dQ/dT)
+		}
+	}
+	t.AddNote("identical optimized allocation on both rows: the gap is dispatch order, and it lands almost entirely in queue wait")
+	t.AddNote("components are span-layer sums over counted jobs; each T̄ column equals its row's component sum exactly")
+	t.AddNote("%d replications", r.Reps)
+	return t
+}

@@ -21,18 +21,17 @@ var (
 
 // PublishLive makes p the probe served under the "probe" expvar. Passing
 // nil unpublishes the snapshot (the var stays registered — expvar does
-// not support removal — but renders as null). Safe to call repeatedly;
-// the latest probe wins.
+// not support removal — but renders as null). Safe to call repeatedly
+// and from concurrent publish/unpublish cycles: the latest probe wins,
+// the expvar is registered exactly once for the process lifetime, and
+// a reader racing an unpublish sees either the old snapshot or null,
+// never a torn state.
 func PublishLive(p *Probe) {
-	if p == nil {
-		liveProbe.Store(nil)
-	} else {
-		liveProbe.Store(p)
-	}
+	liveProbe.Store(p)
 	publishOnce.Do(func() {
 		expvar.Publish("probe", expvar.Func(func() any {
 			lp := liveProbe.Load()
-			if lp == nil {
+			if lp == nil || lp.reg == nil {
 				return nil
 			}
 			return lp.Registry().Snapshot()
@@ -40,19 +39,31 @@ func PublishLive(p *Probe) {
 	})
 }
 
+// UnpublishLive clears the live probe only if p is still the published
+// one. Sequenced publish/unpublish pairs (a sweep publishing each
+// cell's probe in turn) can therefore release their own probe without
+// clobbering a successor that was published in the meantime.
+func UnpublishLive(p *Probe) {
+	liveProbe.CompareAndSwap(p, nil)
+}
+
 // ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060";
-// ":0" picks a free port) and returns the bound address and a shutdown
-// function. It serves:
+// ":0" picks a free port) and returns the bound address, a shutdown
+// function, and a channel reporting a serve failure. It serves:
 //
 //	/debug/vars    — expvar JSON, including the published probe snapshot
 //	/debug/pprof/  — the standard pprof index, profiles and traces
 //
 // The handler mux is private, so the process-global http.DefaultServeMux
-// stays clean and repeated servers (tests) do not collide.
-func ServeDebug(addr string) (string, func() error, error) {
+// stays clean and repeated servers (tests) do not collide. Listen errors
+// are returned synchronously; an asynchronous serve failure (the
+// listener dying mid-run) is delivered on the returned channel, which is
+// closed when the server stops — an orderly shutdown through the
+// shutdown function delivers no error.
+func ServeDebug(addr string) (string, func() error, <-chan error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -62,6 +73,12 @@ func ServeDebug(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	errc := make(chan error, 1)
+	go func() {
+		defer close(errc)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return ln.Addr().String(), srv.Close, errc, nil
 }

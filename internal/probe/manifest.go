@@ -46,6 +46,42 @@ type Manifest struct {
 	// Events are the lifecycle event totals by kind, when events were
 	// recorded.
 	Events map[string]int64 `json:"events,omitempty"`
+	// Spans describes the span export, when the span layer was active.
+	// Added under schema 1: absent in older manifests, ignored by older
+	// readers.
+	Spans *SpanSchema `json:"spans,omitempty"`
+}
+
+// SpanSchema is the manifest's description of a run's span export: the
+// trace format, the row layout, the component names of the additive
+// response-time decomposition, and the span counts (Roots = finalized
+// jobs = terminal spans; Counted = jobs entering measured T̄).
+type SpanSchema struct {
+	Format     string   `json:"format"`
+	File       string   `json:"file,omitempty"`
+	Rows       []string `json:"rows,omitempty"`
+	Components []string `json:"components"`
+	Roots      int64    `json:"roots"`
+	Counted    int64    `json:"counted"`
+}
+
+// SpanTraceFormat is the span export format written by
+// ChromeTraceWriter: Chrome trace-event JSON using "X" complete events.
+const SpanTraceFormat = "chrome-trace-x"
+
+// NewSpanSchema fills the schema constants for the current span layer.
+func NewSpanSchema(n int, file string) *SpanSchema {
+	rows := make([]string, 0, n+2)
+	rows = append(rows, "dispatcher", "network")
+	for i := 0; i < n; i++ {
+		rows = append(rows, fmt.Sprintf("computer %d", i))
+	}
+	return &SpanSchema{
+		Format:     SpanTraceFormat,
+		File:       file,
+		Rows:       rows,
+		Components: []string{"queue", "service", "net", "retry"},
+	}
 }
 
 // NewManifest starts a manifest for the given tool with the schema
@@ -86,6 +122,18 @@ func (m *Manifest) Validate() error {
 	}
 	if m.Metrics == nil {
 		return fmt.Errorf("probe: manifest missing metrics")
+	}
+	if m.Spans != nil {
+		if m.Spans.Format == "" {
+			return fmt.Errorf("probe: manifest spans section missing format")
+		}
+		if len(m.Spans.Components) == 0 {
+			return fmt.Errorf("probe: manifest spans section missing components")
+		}
+		if m.Spans.Roots < 0 || m.Spans.Counted < 0 || m.Spans.Counted > m.Spans.Roots {
+			return fmt.Errorf("probe: manifest spans counts invalid (roots %d, counted %d)",
+				m.Spans.Roots, m.Spans.Counted)
+		}
 	}
 	return nil
 }

@@ -24,6 +24,15 @@ type Options struct {
 	// Events, when non-nil, receives the structured lifecycle event
 	// stream (JSONL or CSV exporter, or any custom sink).
 	Events EventWriter
+	// Spans activates the span layer (see span.go): per-job response
+	// time decomposition into queue/service/net/retry, aggregated per
+	// computer and per terminal cause, with streaming per-component
+	// latency histograms in the registry.
+	Spans bool
+	// SpanSink, when non-nil, additionally receives every closed span
+	// (e.g. a ChromeTraceWriter exporting a Perfetto-loadable trace).
+	// Implies span assembly even when Spans is false.
+	SpanSink SpanSink
 }
 
 // Validate reports option errors.
@@ -72,6 +81,19 @@ type Probe struct {
 	dispUp       *Series
 	stateAge     *Series
 
+	// Span layer (see span.go), active only under Options.Spans or a
+	// SpanSink.
+	spanSpeeds     []float64
+	spanSlab       []spanRec
+	spanFree       []int32
+	spanTotals     compAgg
+	spanByComp     []compAgg
+	spanByCause    map[string]*compAgg
+	spanHists      [][]*Hist
+	spanRoots      int64
+	lastFinalID    int64
+	lastFinalComps SpanComponents
+
 	err error
 }
 
@@ -94,7 +116,7 @@ func New(o Options) (*Probe, error) {
 // Enabled reports whether the probe does anything at all. The simulation
 // must treat a nil or disabled probe as fully off.
 func (p *Probe) Enabled() bool {
-	return p != nil && (p.opts.Metrics || p.opts.Events != nil)
+	return p != nil && (p.opts.Metrics || p.opts.Events != nil || p.SpansOn())
 }
 
 // EventsOn reports whether a lifecycle event writer is attached.

@@ -370,11 +370,10 @@ func TestServeDebug(t *testing.T) {
 	p.Start(1, 0)
 	p.Registry().Gauge("answer").Set(42)
 	PublishLive(p)
-	addr, shutdown, err := ServeDebug("127.0.0.1:0")
+	addr, shutdown, errc, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer shutdown()
 	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
@@ -387,5 +386,45 @@ func TestServeDebug(t *testing.T) {
 	if !strings.Contains(body.String(), `"answer"`) {
 		t.Errorf("/debug/vars missing probe snapshot: %s", body.String())
 	}
-	PublishLive(nil)
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// A clean shutdown must close the error channel without surfacing
+	// http.ErrServerClosed.
+	if serr, ok := <-errc; ok && serr != nil {
+		t.Errorf("unexpected serve error: %v", serr)
+	}
+	UnpublishLive(p)
+}
+
+func TestPublishUnpublishCycles(t *testing.T) {
+	// Repeated publish/unpublish cycles (one per sweep cell) must stay
+	// safe: expvar registration happens once, the live pointer always
+	// tracks the latest published probe, and unpublishing a superseded
+	// probe must not clobber the current one.
+	probes := make([]*Probe, 3)
+	for i := range probes {
+		p, err := New(Options{Metrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start(1, 0)
+		p.Registry().Gauge("cell").Set(float64(i))
+		probes[i] = p
+	}
+	for _, p := range probes {
+		PublishLive(p)
+		UnpublishLive(p)
+	}
+	if lp := liveProbe.Load(); lp != nil {
+		t.Fatalf("live probe not cleared after cycles: %v", lp)
+	}
+	// Unpublishing a stale probe while a newer one is live is a no-op.
+	PublishLive(probes[0])
+	PublishLive(probes[1])
+	UnpublishLive(probes[0])
+	if lp := liveProbe.Load(); lp != probes[1] {
+		t.Fatalf("stale unpublish clobbered the live probe: got %v, want %v", lp, probes[1])
+	}
+	UnpublishLive(probes[1])
 }

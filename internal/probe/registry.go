@@ -120,14 +120,51 @@ func (s *Series) Finish(t float64) { s.tw.Finish(t) }
 // goroutine).
 func (s *Series) Mean() float64 { return s.tw.Mean() }
 
+// Hist is a streaming latency histogram metric: log-bucketed bins that
+// answer p50/p90/p99/p999 queries without retaining samples (see
+// stats.Histogram for the one-bin-width error bound). Add is
+// allocation-free; the mutex only guards against concurrent snapshot
+// readers and is uncontended on the simulation goroutine.
+type Hist struct {
+	name string
+	mu   sync.Mutex
+	h    *stats.Histogram
+}
+
+// Name returns the metric name.
+func (h *Hist) Name() string { return h.name }
+
+// Add records one observation. Values below the histogram floor land in
+// the underflow bucket (reported as the floor by quantile queries).
+func (h *Hist) Add(x float64) {
+	h.mu.Lock()
+	h.h.Add(x)
+	h.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.N()
+}
+
+// Quantiles estimates the given quantiles (ascending) from the bins.
+func (h *Hist) Quantiles(qs ...float64) []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Quantiles(qs...)
+}
+
 // Registry holds a run's metrics by name. Registration (Counter, Gauge,
-// Series) is get-or-create and intended for setup time; the returned
-// handles are then mutated allocation-free on the hot path.
+// Series, Hist) is get-or-create and intended for setup time; the
+// returned handles are then mutated allocation-free on the hot path.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	series   map[string]*Series
+	hists    map[string]*Hist
 }
 
 // NewRegistry returns an empty registry.
@@ -136,6 +173,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		series:   map[string]*Series{},
+		hists:    map[string]*Hist{},
 	}
 }
 
@@ -179,6 +217,21 @@ func (r *Registry) Series(name string) *Series {
 	return s
 }
 
+// Hist returns the streaming histogram registered under name, creating
+// it with the given log-bucket geometry if needed (see
+// stats.NewLogHistogram). Geometry is fixed at first registration.
+func (r *Registry) Hist(name string, lo, hi float64, bins int) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, "hist")
+	h := &Hist{name: name, h: stats.NewLogHistogram(lo, hi, bins)}
+	r.hists[name] = h
+	return h
+}
+
 // checkFree panics when name is registered under a different metric type;
 // callers hold r.mu.
 func (r *Registry) checkFree(name, as string) {
@@ -190,6 +243,9 @@ func (r *Registry) checkFree(name, as string) {
 	}
 	if _, ok := r.series[name]; ok {
 		panic(fmt.Sprintf("probe: %q already registered as a series, not a %s", name, as))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("probe: %q already registered as a hist, not a %s", name, as))
 	}
 }
 
@@ -213,13 +269,15 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// FinalSnapshot returns the post-run snapshot: counters, gauges, and for
-// each series its time-weighted mean under "<name>.mean". Call only after
-// the simulation finished (it reads non-atomic state).
+// FinalSnapshot returns the post-run snapshot: counters, gauges, for
+// each series its time-weighted mean under "<name>.mean", and for each
+// non-empty histogram its streaming percentiles under "<name>.p50" /
+// ".p90" / ".p99" / ".p999" plus the count under "<name>.n". Call only
+// after the simulation finished (it reads non-atomic state).
 func (r *Registry) FinalSnapshot() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.series))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.series)+5*len(r.hists))
 	for n, c := range r.counters {
 		out[n] = float64(c.Value())
 	}
@@ -229,6 +287,17 @@ func (r *Registry) FinalSnapshot() map[string]float64 {
 	for n, s := range r.series {
 		out[n+".mean"] = s.Mean()
 	}
+	for n, h := range r.hists {
+		if h.N() == 0 {
+			continue
+		}
+		q := h.Quantiles(0.50, 0.90, 0.99, 0.999)
+		out[n+".p50"] = q[0]
+		out[n+".p90"] = q[1]
+		out[n+".p99"] = q[2]
+		out[n+".p999"] = q[3]
+		out[n+".n"] = float64(h.N())
+	}
 	return out
 }
 
@@ -236,7 +305,7 @@ func (r *Registry) FinalSnapshot() map[string]float64 {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series)+len(r.hists))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -244,6 +313,9 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.series {
+		names = append(names, n)
+	}
+	for n := range r.hists {
 		names = append(names, n)
 	}
 	sort.Strings(names)

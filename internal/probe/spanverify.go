@@ -1,0 +1,203 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Span well-formedness verification for exported Chrome-trace JSON (see
+// ChromeTraceWriter). A valid trace proves, artifact-side, the span
+// layer's structural invariants:
+//
+//   - every slice is a complete ("X") event with a finite start and a
+//     non-negative duration;
+//   - every job has exactly one terminal "job" root slice — the
+//     artifact image of the simulator's exactly-once OnFinal;
+//   - every child phase slice nests inside its job's root bounds;
+//   - the root's queue/service/net/retry args sum to its duration
+//     (the additive decomposition survived export).
+//
+// Cross-job overlap on one row is legal: processor sharing serves many
+// jobs concurrently, so the tree property is per job, not per row.
+
+// SpanCheckStats summarizes a span verification pass.
+type SpanCheckStats struct {
+	// Events is the number of trace events scanned (slices + metadata).
+	Events int64
+	// Jobs is the number of distinct job IDs seen.
+	Jobs int64
+	// Roots is the number of terminal "job" slices.
+	Roots int64
+	// Children is the number of phase slices.
+	Children int64
+	// Violations counts invariant violations; Details carries the first
+	// maxRecordedViolations descriptions.
+	Violations int64
+	Details    []string
+}
+
+func (st *SpanCheckStats) violate(format string, args ...any) {
+	st.Violations++
+	if len(st.Details) < maxRecordedViolations {
+		st.Details = append(st.Details, fmt.Sprintf(format, args...))
+	}
+}
+
+// spanEvent mirrors the subset of the Chrome trace-event schema the
+// writer produces.
+type spanEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Job     int64   `json:"job"`
+		Outcome string  `json:"outcome"`
+		Queue   float64 `json:"queue"`
+		Service float64 `json:"service"`
+		Net     float64 `json:"net"`
+		Retry   float64 `json:"retry"`
+	} `json:"args"`
+}
+
+// spanJobState accumulates one job's slices.
+type spanJobState struct {
+	children        int64
+	minTs, maxEnd   float64
+	rootSeen        bool
+	rootTs, rootEnd float64
+}
+
+// spanPhaseNames is the set of legal child slice names.
+var spanPhaseNames = map[string]bool{
+	"dispatch": true, "transit": true, "queue": true, "service": true,
+}
+
+// spanTol is the absolute + relative tolerance for bound and sum
+// checks: values are microseconds round-tripped through decimal text,
+// so only a few ulps of slack are needed.
+func spanTol(scale float64) float64 {
+	return 1e-6 + 1e-9*math.Abs(scale)
+}
+
+// VerifySpans reads a Chrome-trace JSON export and checks span
+// well-formedness. It scans the whole stream, collecting every
+// violation (details capped at maxRecordedViolations), and returns an
+// error when any was found.
+func VerifySpans(r io.Reader) (SpanCheckStats, error) {
+	var st SpanCheckStats
+	dec := json.NewDecoder(r)
+
+	// Envelope: {"traceEvents":[ ... ]}
+	if err := expectDelim(dec, '{'); err != nil {
+		return st, fmt.Errorf("probe: span trace: %w", err)
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return st, fmt.Errorf("probe: span trace: %w", err)
+	}
+	if key, ok := tok.(string); !ok || key != "traceEvents" {
+		return st, fmt.Errorf("probe: span trace: want \"traceEvents\" key, got %v", tok)
+	}
+	if err := expectDelim(dec, '['); err != nil {
+		return st, fmt.Errorf("probe: span trace: %w", err)
+	}
+
+	jobs := map[int64]*spanJobState{}
+	for dec.More() {
+		var e spanEvent
+		if err := dec.Decode(&e); err != nil {
+			return st, fmt.Errorf("probe: span trace: event %d: %w", st.Events+1, err)
+		}
+		st.Events++
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			st.violate("event %d: unknown phase type %q", st.Events, e.Ph)
+			continue
+		}
+		if math.IsNaN(e.Ts) || math.IsInf(e.Ts, 0) {
+			st.violate("event %d (job %d): non-finite start %v", st.Events, e.Args.Job, e.Ts)
+			continue
+		}
+		if e.Dur < 0 || math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) {
+			st.violate("event %d (job %d): negative or non-finite duration %v", st.Events, e.Args.Job, e.Dur)
+			continue
+		}
+		js := jobs[e.Args.Job]
+		if js == nil {
+			js = &spanJobState{minTs: math.Inf(1), maxEnd: math.Inf(-1)}
+			jobs[e.Args.Job] = js
+		}
+		if e.Name == "job" {
+			st.Roots++
+			if js.rootSeen {
+				st.violate("job %d: second terminal span at ts %v (terminal must be exactly-once)", e.Args.Job, e.Ts)
+				continue
+			}
+			js.rootSeen = true
+			js.rootTs = e.Ts
+			js.rootEnd = e.Ts + e.Dur
+			sum := e.Args.Queue + e.Args.Service + e.Args.Net + e.Args.Retry
+			if math.Abs(sum-e.Dur) > spanTol(e.Dur) {
+				st.violate("job %d: components sum %v != span duration %v", e.Args.Job, sum, e.Dur)
+			}
+			if e.Args.Outcome == "" {
+				st.violate("job %d: terminal span without outcome", e.Args.Job)
+			}
+			continue
+		}
+		st.Children++
+		js.children++
+		if !spanPhaseNames[e.Name] {
+			st.violate("job %d: unknown phase span %q", e.Args.Job, e.Name)
+		}
+		if e.Ts < js.minTs {
+			js.minTs = e.Ts
+		}
+		if end := e.Ts + e.Dur; end > js.maxEnd {
+			js.maxEnd = end
+		}
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return st, fmt.Errorf("probe: span trace: %w", err)
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return st, fmt.Errorf("probe: span trace: %w", err)
+	}
+
+	st.Jobs = int64(len(jobs))
+	for id, js := range jobs {
+		if !js.rootSeen {
+			st.violate("job %d: phase spans without a terminal span", id)
+			continue
+		}
+		if js.children > 0 {
+			if js.minTs < js.rootTs-spanTol(js.rootTs) || js.maxEnd > js.rootEnd+spanTol(js.rootEnd) {
+				st.violate("job %d: phase spans [%v,%v] escape terminal span [%v,%v]",
+					id, js.minTs, js.maxEnd, js.rootTs, js.rootEnd)
+			}
+		}
+	}
+	if st.Violations > 0 {
+		return st, fmt.Errorf("probe: span trace: %d violations in %d events", st.Violations, st.Events)
+	}
+	return st, nil
+}
+
+// expectDelim consumes one JSON token and checks it is the delimiter d.
+func expectDelim(dec *json.Decoder, d json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if got, ok := tok.(json.Delim); !ok || got != d {
+		return fmt.Errorf("want %q, got %v", d, tok)
+	}
+	return nil
+}

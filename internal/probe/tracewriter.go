@@ -1,0 +1,146 @@
+package probe
+
+import (
+	"io"
+	"strconv"
+)
+
+// ChromeTraceWriter exports spans in the Chrome trace-event JSON format
+// (the "X" complete-event flavor), loadable by Perfetto and
+// chrome://tracing. The trace lays one thread row per actor:
+//
+//	tid 0 — dispatcher (pre-dispatch, retry backoff, crash buffering)
+//	tid 1 — network (transit between dispatcher and computers)
+//	tid 2+i — computer i (queue wait and service)
+//
+// Every phase a job passes through becomes a child "X" slice on the
+// actor's row, and the job's whole lifetime becomes one root "job"
+// slice on its final computer's row carrying the outcome and the
+// queue/service/net/retry decomposition in args. Concurrent jobs
+// overlap freely on a row (processor sharing serves many jobs at
+// once); the tree structure is per job, keyed by the "job" arg.
+//
+// Timestamps are simulation seconds scaled to microseconds (the
+// format's canonical unit). Encoding is hand-rolled over a reused
+// buffer, like JSONLWriter, so exporting a long run does not allocate
+// per span.
+type ChromeTraceWriter struct {
+	w     io.Writer
+	buf   []byte
+	first bool
+	err   error
+}
+
+// NewChromeTraceWriter returns a trace exporter writing to w. Wrap w in
+// a bufio.Writer for file sinks; Close flushes but does not fsync.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter {
+	return &ChromeTraceWriter{w: w, buf: make([]byte, 0, 256), first: true}
+}
+
+// Err returns the first write error, if any.
+func (tw *ChromeTraceWriter) Err() error { return tw.err }
+
+func (tw *ChromeTraceWriter) flushBuf(b []byte) {
+	tw.buf = b
+	if tw.err == nil {
+		_, tw.err = tw.w.Write(b)
+	}
+}
+
+// open emits the envelope prefix and the separating comma.
+func (tw *ChromeTraceWriter) open(b []byte) []byte {
+	if tw.first {
+		b = append(b, `{"traceEvents":[`...)
+		b = append(b, '\n')
+		tw.first = false
+	} else {
+		b = append(b, ',', '\n')
+	}
+	return b
+}
+
+// Start emits the thread-name metadata rows for n computers. Called by
+// the span layer before the first span.
+func (tw *ChromeTraceWriter) Start(n int) {
+	for tid := 0; tid < n+2; tid++ {
+		b := tw.open(tw.buf[:0])
+		b = append(b, `{"name":"thread_name","ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"args":{"name":"`...)
+		switch tid {
+		case 0:
+			b = append(b, "dispatcher"...)
+		case 1:
+			b = append(b, "network"...)
+		default:
+			b = append(b, "computer "...)
+			b = strconv.AppendInt(b, int64(tid-2), 10)
+		}
+		b = append(b, `"}}`...)
+		tw.flushBuf(b)
+	}
+}
+
+// ChildSpan emits one phase slice on the actor row tid.
+func (tw *ChromeTraceWriter) ChildSpan(tid int, jobID int64, name string, start, dur float64) {
+	b := tw.open(tw.buf[:0])
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","ph":"X","ts":`...)
+	b = strconv.AppendFloat(b, start*1e6, 'g', -1, 64)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendFloat(b, dur*1e6, 'g', -1, 64)
+	b = append(b, `,"pid":0,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"job":`...)
+	b = strconv.AppendInt(b, jobID, 10)
+	b = append(b, `}}`...)
+	tw.flushBuf(b)
+}
+
+// RootSpan emits the job's terminal slice with its decomposition.
+func (tw *ChromeTraceWriter) RootSpan(tid int, jobID int64, outcome string, start, dur float64, c SpanComponents) {
+	b := tw.open(tw.buf[:0])
+	b = append(b, `{"name":"job","ph":"X","ts":`...)
+	b = strconv.AppendFloat(b, start*1e6, 'g', -1, 64)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendFloat(b, dur*1e6, 'g', -1, 64)
+	b = append(b, `,"pid":0,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"job":`...)
+	b = strconv.AppendInt(b, jobID, 10)
+	b = append(b, `,"outcome":"`...)
+	b = append(b, outcome...)
+	b = append(b, `","queue":`...)
+	b = strconv.AppendFloat(b, c.Queue*1e6, 'g', -1, 64)
+	b = append(b, `,"service":`...)
+	b = strconv.AppendFloat(b, c.Service*1e6, 'g', -1, 64)
+	b = append(b, `,"net":`...)
+	b = strconv.AppendFloat(b, c.Net*1e6, 'g', -1, 64)
+	b = append(b, `,"retry":`...)
+	b = strconv.AppendFloat(b, c.Retry*1e6, 'g', -1, 64)
+	if c.Resubmits > 0 {
+		b = append(b, `,"resubmits":`...)
+		b = strconv.AppendInt(b, int64(c.Resubmits), 10)
+	}
+	b = append(b, `}}`...)
+	tw.flushBuf(b)
+}
+
+// Close terminates the JSON envelope. The writer must not be used
+// afterwards.
+func (tw *ChromeTraceWriter) Close() error {
+	b := tw.buf[:0]
+	if tw.first {
+		b = append(b, `{"traceEvents":[`...)
+		tw.first = false
+	}
+	b = append(b, '\n', ']', '}', '\n')
+	tw.flushBuf(b)
+	if f, ok := tw.w.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil && tw.err == nil {
+			tw.err = err
+		}
+	}
+	return tw.err
+}

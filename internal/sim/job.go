@@ -79,6 +79,12 @@ type Job struct {
 	// client-timeout rescues; distinct from Retries (failure requeues)
 	// and Attempts (overload retry/backoff).
 	Resubmits int
+	// SpanSlot is the probe span layer's slab slot for this job, offset
+	// by one so the zero value means "no span". It is owned entirely by
+	// internal/probe (set at admission, cleared at finalization) and is
+	// reset with the rest of the exported fields when the arena recycles
+	// the job.
+	SpanSlot int32
 
 	// attained is the virtual-time target used internally by PS servers,
 	// or the remaining work for quantum/FCFS servers.

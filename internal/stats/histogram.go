@@ -96,8 +96,38 @@ func (h *Histogram) BinBounds(i int) (lo, hi float64) {
 	return lo, lo + h.linWidth
 }
 
+// Merge adds every observation recorded by o into h. Both histograms
+// must have identical geometry (same lo, hi, scale and bin count) so
+// the bins line up exactly; Merge returns an error otherwise and
+// leaves h unchanged. Merging per-replication histograms is the
+// streaming replacement for pooling raw samples across runs: the
+// merged histogram answers the same Quantile queries without either
+// side ever retaining individual observations.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.lo != h.lo || o.hi != h.hi || o.log != h.log || len(o.bins) != len(h.bins) {
+		return fmt.Errorf("stats: histogram geometry mismatch: [%v,%v) log=%v bins=%d vs [%v,%v) log=%v bins=%d",
+			h.lo, h.hi, h.log, len(h.bins), o.lo, o.hi, o.log, len(o.bins))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.n += o.n
+	return nil
+}
+
 // Quantile estimates the q-quantile assuming observations are uniform
 // within a bin. Out-of-range mass is attributed to the boundary values.
+//
+// Error bound: an in-range observation is only known to within its bin,
+// so a quantile estimate can be off by at most one bin width. For a
+// log-bucketed histogram with ratio r = (hi/lo)^(1/bins) between
+// consecutive bin edges, that is a relative error of at most r−1
+// (e.g. [1e-3,1e7) with 400 bins gives r = 10^0.025 ≈ 1.059, so ≤ ~6%
+// relative error on any in-range quantile). Underflow and overflow mass
+// is pinned to lo and hi respectively, so quantiles that fall in the
+// out-of-range tails saturate at the histogram bounds.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0

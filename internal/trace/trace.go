@@ -13,10 +13,15 @@
 //	... run ...
 //	err := w.Flush()
 //
-// The Reader also accepts the legacy five-column format (no outcome or
-// retries columns; rows read back as outcome "completed" with zero
-// retries) and the intermediate seven-column format (no resubmits
-// column; rows read back with zero resubmits).
+// The format is versioned by column count: every historical layout is a
+// strict prefix of the current column order (see header and
+// traceVersions), so the Reader accepts the legacy five-column format
+// (no outcome or retries; rows read back as outcome "completed" with
+// zero retries), the seven-column format (no resubmits), the
+// eight-column format (no per-component time attribution) and the
+// current twelve-column format with the queue/service/net/retry
+// response-time decomposition from the probe span layer (zero when the
+// producing run had spans off).
 package trace
 
 import (
@@ -32,19 +37,23 @@ import (
 	"heterosched/internal/stats"
 )
 
-// header is the CSV column layout, written once per trace. The first
-// legacyColumns columns match the original format; outcome and retries
-// were appended later, and resubmits (network-layer resubmissions) after
-// that. The Reader accepts all three layouts.
-var header = []string{"id", "target", "arrival", "size", "completion", "outcome", "retries", "resubmits"}
+// header is the canonical CSV column order, written once per trace.
+// Columns are only ever appended, so every historical format is a
+// strict prefix of this list and one width→version map (traceVersions)
+// replaces per-format fallback branches: to add columns, append them
+// here, register the new width below, and add their parsers to
+// columnParsers — nothing else changes.
+var header = []string{
+	"id", "target", "arrival", "size", "completion", // v0 (original)
+	"outcome", "retries", // v1
+	"resubmits", // v2
+	"queue", "service", "net", "retry", // v3 (span decomposition)
+}
 
-// legacyColumns is the column count of the original trace format;
-// retryColumns the width of the intermediate format that added outcome
-// and retries but predated the resubmits column.
-const (
-	legacyColumns = 5
-	retryColumns  = 7
-)
+// traceVersions maps a row's column count to the format version that
+// produced it. Absent fields take their documented defaults (outcome
+// "completed", zero counts, zero components).
+var traceVersions = map[int]int{5: 0, 7: 1, 8: 2, 12: 3}
 
 // Record is one finished job.
 type Record struct {
@@ -62,6 +71,11 @@ type Record struct {
 	// Resubmits counts network-layer resubmissions (ack-timeout or client
 	// rescue, see internal/netfault); legacy traces read back as zero.
 	Resubmits int
+	// Queue, Service, Net and Retry are the probe span layer's additive
+	// response-time decomposition (they sum to ResponseTime for completed
+	// jobs when the producing run had spans on; all zero otherwise and in
+	// pre-v3 traces).
+	Queue, Service, Net, Retry float64
 }
 
 // ResponseTime returns Completion − Arrival.
@@ -90,8 +104,17 @@ func (w *Writer) Record(j *sim.Job) error {
 
 // RecordFinal appends one finished job with its terminal outcome. It is
 // designed as the cluster.Config.OnFinal callback: every job fate is
-// recorded, with Completion zero for jobs that never completed.
+// recorded, with Completion zero for jobs that never completed. The
+// component columns are written as zero; instrumented runs use
+// RecordFinalComponents.
 func (w *Writer) RecordFinal(j *sim.Job, o cluster.Outcome) error {
+	return w.RecordFinalComponents(j, o, 0, 0, 0, 0)
+}
+
+// RecordFinalComponents appends one finished job with its terminal
+// outcome and the span layer's response-time decomposition (probe
+// SpanComponents, queried via Probe.LastFinal inside OnFinal).
+func (w *Writer) RecordFinalComponents(j *sim.Job, o cluster.Outcome, queue, service, net, retry float64) error {
 	return w.Append(Record{
 		ID:         j.ID,
 		Target:     j.Target,
@@ -101,6 +124,10 @@ func (w *Writer) RecordFinal(j *sim.Job, o cluster.Outcome) error {
 		Outcome:    o.String(),
 		Retries:    j.Retries + j.Attempts,
 		Resubmits:  j.Resubmits,
+		Queue:      queue,
+		Service:    service,
+		Net:        net,
+		Retry:      retry,
 	})
 }
 
@@ -125,6 +152,10 @@ func (w *Writer) Append(r Record) error {
 		outcome,
 		strconv.Itoa(r.Retries),
 		strconv.Itoa(r.Resubmits),
+		strconv.FormatFloat(r.Queue, 'g', -1, 64),
+		strconv.FormatFloat(r.Service, 'g', -1, 64),
+		strconv.FormatFloat(r.Net, 'g', -1, 64),
+		strconv.FormatFloat(r.Retry, 'g', -1, 64),
 	})
 }
 
@@ -180,52 +211,50 @@ func (r *Reader) ReadAll() ([]Record, error) {
 	}
 }
 
+// columnParsers assigns each canonical column, in header order, to its
+// destination Record field. parseRow runs the prefix of this table
+// matching the row's width, so every format version shares one parsing
+// path and new columns need only a new entry here.
+var columnParsers = []struct {
+	name  string
+	parse func(rec *Record, s string) error
+}{
+	{"id", func(rec *Record, s string) (err error) { rec.ID, err = strconv.ParseInt(s, 10, 64); return }},
+	{"target", func(rec *Record, s string) (err error) { rec.Target, err = strconv.Atoi(s); return }},
+	{"arrival", func(rec *Record, s string) (err error) { rec.Arrival, err = strconv.ParseFloat(s, 64); return }},
+	{"size", func(rec *Record, s string) (err error) { rec.Size, err = strconv.ParseFloat(s, 64); return }},
+	{"completion", func(rec *Record, s string) (err error) { rec.Completion, err = strconv.ParseFloat(s, 64); return }},
+	{"outcome", func(rec *Record, s string) error {
+		if _, err := cluster.ParseOutcome(s); err != nil {
+			return err
+		}
+		rec.Outcome = s
+		return nil
+	}},
+	{"retries", func(rec *Record, s string) (err error) { rec.Retries, err = strconv.Atoi(s); return }},
+	{"resubmits", func(rec *Record, s string) (err error) { rec.Resubmits, err = strconv.Atoi(s); return }},
+	{"queue", func(rec *Record, s string) (err error) { rec.Queue, err = strconv.ParseFloat(s, 64); return }},
+	{"service", func(rec *Record, s string) (err error) { rec.Service, err = strconv.ParseFloat(s, 64); return }},
+	{"net", func(rec *Record, s string) (err error) { rec.Net, err = strconv.ParseFloat(s, 64); return }},
+	{"retry", func(rec *Record, s string) (err error) { rec.Retry, err = strconv.ParseFloat(s, 64); return }},
+}
+
 func parseRow(row []string) (Record, error) {
-	if len(row) != len(header) && len(row) != retryColumns && len(row) != legacyColumns {
-		return Record{}, fmt.Errorf("trace: row has %d columns, want %d (or legacy %d/%d)", len(row), len(header), retryColumns, legacyColumns)
+	if _, ok := traceVersions[len(row)]; !ok {
+		widths := make([]int, 0, len(traceVersions))
+		for w := range traceVersions {
+			widths = append(widths, w)
+		}
+		sort.Ints(widths)
+		return Record{}, fmt.Errorf("trace: row has %d columns, want one of %v", len(row), widths)
 	}
-	id, err := strconv.ParseInt(row[0], 10, 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad id %q: %v", row[0], err)
+	rec := Record{Outcome: cluster.OutcomeCompleted.String()}
+	for i, s := range row {
+		cp := columnParsers[i]
+		if err := cp.parse(&rec, s); err != nil {
+			return Record{}, fmt.Errorf("trace: bad %s %q: %v", cp.name, s, err)
+		}
 	}
-	target, err := strconv.Atoi(row[1])
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad target %q: %v", row[1], err)
-	}
-	arrival, err := strconv.ParseFloat(row[2], 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad arrival %q: %v", row[2], err)
-	}
-	size, err := strconv.ParseFloat(row[3], 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad size %q: %v", row[3], err)
-	}
-	completion, err := strconv.ParseFloat(row[4], 64)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad completion %q: %v", row[4], err)
-	}
-	rec := Record{ID: id, Target: target, Arrival: arrival, Size: size, Completion: completion,
-		Outcome: cluster.OutcomeCompleted.String()}
-	if len(row) == legacyColumns {
-		return rec, nil
-	}
-	if _, err := cluster.ParseOutcome(row[5]); err != nil {
-		return Record{}, err
-	}
-	rec.Outcome = row[5]
-	retries, err := strconv.Atoi(row[6])
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad retries %q: %v", row[6], err)
-	}
-	rec.Retries = retries
-	if len(row) == retryColumns {
-		return rec, nil
-	}
-	resubmits, err := strconv.Atoi(row[7])
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: bad resubmits %q: %v", row[7], err)
-	}
-	rec.Resubmits = resubmits
 	return rec, nil
 }
 

@@ -410,3 +410,90 @@ func TestReplayValidation(t *testing.T) {
 		t.Error("zero-size replay job accepted")
 	}
 }
+
+// TestTraceFormatVersions is the table test over every historical
+// column width: each format is a strict prefix of the canonical header,
+// parses through the single versioned path, and absent fields take
+// their documented defaults.
+func TestTraceFormatVersions(t *testing.T) {
+	cases := []struct {
+		name string
+		row  string
+		want Record
+	}{
+		{
+			name: "v0 five columns (original)",
+			row:  "1,2,0.5,4,9.5",
+			want: Record{ID: 1, Target: 2, Arrival: 0.5, Size: 4, Completion: 9.5, Outcome: "completed"},
+		},
+		{
+			name: "v1 seven columns (outcome, retries)",
+			row:  "2,0,1,2,0,shed,3",
+			want: Record{ID: 2, Arrival: 1, Size: 2, Outcome: "shed", Retries: 3},
+		},
+		{
+			name: "v2 eight columns (resubmits)",
+			row:  "3,1,1,2,8,late,1,4",
+			want: Record{ID: 3, Target: 1, Arrival: 1, Size: 2, Completion: 8, Outcome: "late", Retries: 1, Resubmits: 4},
+		},
+		{
+			name: "v3 twelve columns (span decomposition)",
+			row:  "4,3,2,1,12,completed,0,1,5.5,2.5,1.25,0.75",
+			want: Record{ID: 4, Target: 3, Arrival: 2, Size: 1, Completion: 12, Outcome: "completed",
+				Resubmits: 1, Queue: 5.5, Service: 2.5, Net: 1.25, Retry: 0.75},
+		},
+	}
+	for _, tc := range cases {
+		got, err := NewReader(strings.NewReader(tc.row + "\n")).Next()
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: parsed %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	// Widths between the registered versions are rejected, and bad
+	// component floats in the new columns are caught.
+	for _, bad := range []string{
+		"1,1,0,2,4,completed,0,0,1\n",          // 9 columns: no such version
+		"1,1,0,2,4,completed,0,0,1,1,1\n",      // 11 columns: no such version
+		"1,1,0,2,4,completed,0,0,x,1,1,1\n",    // bad queue
+		"1,1,0,2,4,completed,0,0,1,1,1,nope\n", // bad retry
+	} {
+		if _, err := NewReader(strings.NewReader(bad)).Next(); err == nil {
+			t.Errorf("row %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}
+
+// TestRecordFinalComponents checks the component-carrying writer used
+// by instrumented runs: components round-trip, and the plain RecordFinal
+// writes zero components.
+func TestRecordFinalComponents(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	j := &sim.Job{ID: 9, Target: 2, Arrival: 1, Size: 3, Completion: 11}
+	if err := w.RecordFinalComponents(j, cluster.OutcomeCompleted, 6, 3, 0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordFinal(j, cluster.OutcomeCompleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if got[0].Queue != 6 || got[0].Service != 3 || got[0].Net != 0.5 || got[0].Retry != 0.5 {
+		t.Errorf("components = %+v", got[0])
+	}
+	if got[1].Queue != 0 || got[1].Service != 0 || got[1].Net != 0 || got[1].Retry != 0 {
+		t.Errorf("RecordFinal wrote nonzero components: %+v", got[1])
+	}
+}
