@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check race stress vet fmt clean probe-smoke trace-smoke netfault-smoke chaos-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke trace-smoke netfault-smoke shard-smoke chaos-smoke benchcheck bench-baseline
 
 all: build
 
@@ -89,6 +89,20 @@ netfault-smoke:
 		> netfault-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest netfault-out/manifest.json \
 		-events netfault-out/events.jsonl -require-terminal
+
+# shard-smoke runs a short simulation of a scaled system (the base speed
+# vector tiled to 200 computers) under K=4 hash-routed dispatcher
+# replicas with the scalable JSQ(2) policy, fully instrumented, and
+# validates the artifacts with probecheck: sharding must not break
+# exactly-once terminals or the manifest contract.
+shard-smoke:
+	mkdir -p shard-out
+	$(GO) run ./cmd/heterosim -speeds 1,1,2,10 -scale 200 -rho 0.7 \
+		-policy 'jsq(2)' -dispatchers 4:hash -duration 2e3 -reps 1 -probe \
+		-events shard-out/events.jsonl -manifest shard-out/manifest.json \
+		> shard-out/report.txt
+	$(GO) run ./cmd/probecheck -manifest shard-out/manifest.json \
+		-events shard-out/events.jsonl -require-terminal
 
 # chaos-smoke samples a bounded budget of composed fault scenarios
 # (faults x overload x drift x netfault) and checks every run against the

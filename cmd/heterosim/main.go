@@ -68,7 +68,10 @@ import (
 func main() {
 	speedsFlag := flag.String("speeds", "1,1,1,1,10,10", "comma-separated relative computer speeds")
 	rho := flag.Float64("rho", 0.7, "offered utilization; >= 1 simulates overload")
-	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx, ORR±e")
+	policyFlag := flag.String("policy", "ORR", "policy: WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx, ORR±e, jsq(d), pod(d)[:speed|alpha], jiq")
+	dispatchersFlag := flag.String("dispatchers", "1", "dispatcher replicas K[:rr|hash] (1 = the paper's central scheduler)")
+	syncFlag := flag.String("sync", "never", "counter-sync period for sharded Algorithm 2 replicas: never or seconds")
+	scale := flag.Int("scale", 0, "tile -speeds cyclically out to this many computers (0 = use -speeds as given)")
 	duration := flag.Float64("duration", 4e5, "simulated seconds per replication (paper: 4e6)")
 	reps := flag.Int("reps", 3, "independent replications (paper: 10)")
 	seed := flag.Uint64("seed", 1, "root random seed")
@@ -106,6 +109,13 @@ func main() {
 	start := time.Now()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if speeds, err = cli.ScaleSpeeds(speeds, *scale); err != nil {
+		fatal(err)
+	}
+	sharding, err := cli.ParseShardingSpecs(*dispatchersFlag, *syncFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -161,6 +171,7 @@ func main() {
 		Realloc:   mode,
 		Faults:    faultCfg,
 		Computers: len(speeds),
+		Sharding:  sharding,
 	})
 	if err != nil {
 		fatal(err)
@@ -410,6 +421,20 @@ func main() {
 				fatal(err)
 			}
 		}
+		if pb.Shards() > 1 {
+			fmt.Println()
+			kt := report.NewTable("dispatcher replicas (instrumented rep-0 pass)",
+				"dispatcher", "jobs", "interarrival CV", "gaps")
+			for k := 0; k < pb.Shards(); k++ {
+				kcv, gaps := pb.ShardCV(k)
+				kt.AddRow(strconv.Itoa(k+1), strconv.FormatInt(pb.ShardJobs(k), 10),
+					report.F(kcv), strconv.FormatInt(gaps, 10))
+			}
+			kt.AddNote("each replica owns the arrival substream routed to it (%s sharding)", sharding.ShardBy)
+			if _, err := kt.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 		if tot := pb.SpanTotals(); pb.SpansOn() && tot.N > 0 {
 			n := float64(tot.N)
 			fmt.Println()
@@ -493,6 +518,13 @@ func main() {
 		}
 		if driftCfg != nil {
 			m.Config["drift"] = *driftFlag
+		}
+		if sharding.Enabled() {
+			m.Config["dispatchers"] = *dispatchersFlag
+			m.Config["sync"] = *syncFlag
+		}
+		if *scale > 0 {
+			m.Config["scale"] = *scale
 		}
 		if netfaultCfg != nil {
 			m.Config["netfault"] = *netfaultFlag

@@ -37,6 +37,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -55,6 +56,9 @@ import (
 func main() {
 	speedsFlag := flag.String("speeds", "1,1,2,10", "comma-separated relative computer speeds")
 	policiesFlag := flag.String("policies", "WRAN,ORAN,WRR,ORR,LL", "comma-separated policies")
+	dispatchersFlag := flag.String("dispatchers", "1", "dispatcher replicas K[:rr|hash] applied to every policy (1 = central scheduler)")
+	syncFlag := flag.String("sync", "never", "counter-sync period for sharded Algorithm 2 replicas: never or seconds")
+	scale := flag.Int("scale", 0, "tile -speeds cyclically out to this many computers (0 = use -speeds as given)")
 	from := flag.Float64("from", 0.3, "first utilization")
 	to := flag.Float64("to", 0.9, "last utilization (inclusive)")
 	step := flag.Float64("step", 0.1, "utilization step")
@@ -91,6 +95,13 @@ func main() {
 	start := time.Now()
 
 	speeds, err := cli.ParseSpeeds(*speedsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if speeds, err = cli.ScaleSpeeds(speeds, *scale); err != nil {
+		fatal(err)
+	}
+	sharding, err := cli.ParseShardingSpecs(*dispatchersFlag, *syncFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -154,6 +165,7 @@ func main() {
 		Realloc:   mode,
 		Faults:    faultCfg,
 		Computers: len(speeds),
+		Sharding:  sharding,
 	})
 	if err != nil {
 		fatal(err)
@@ -164,7 +176,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, netfaultCfg, pp)
+	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, netfaultCfg, pp, sharding.Enabled())
 	if err != nil {
 		fatal(err)
 	}
@@ -201,6 +213,13 @@ func main() {
 		}
 		if adaptCfg != nil {
 			m.Config["replan"] = *replan
+		}
+		if sharding.Enabled() {
+			m.Config["dispatchers"] = *dispatchersFlag
+			m.Config["sync"] = *syncFlag
+		}
+		if *scale > 0 {
+			m.Config["scale"] = *scale
 		}
 		if netfaultCfg != nil {
 			m.Config["netfault"] = *netfaultFlag
@@ -259,7 +278,7 @@ func sweepValues(from, to, step float64) []float64 {
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
 	ovCfg *cluster.OverloadConfig, driftCfg *drift.Config, adaptCfg *cluster.AdaptConfig,
-	nfCfg *netfault.Config, pp cli.ProbeParams,
+	nfCfg *netfault.Config, pp cli.ProbeParams, sharded bool,
 ) ([]*report.Table, *report.Table, map[string]float64, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
@@ -294,6 +313,11 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		cvT = report.NewTable("interarrival CV (mean across computers, instrumented pass)", headers...)
 		cvT.AddNote("the paper's §3 burstiness measurement: round-robin splitting smooths each computer's arrival substream, probabilistic splitting does not")
 	}
+	var shardT *report.Table
+	if cvT != nil && sharded {
+		shardT = report.NewTable("per-dispatcher interarrival CV (mean across replicas, instrumented pass)", headers...)
+		shardT.AddNote("each dispatcher replica's private arrival substream; \"-\" for policies that ran unsharded")
+	}
 	var decompT *report.Table
 	if withProbe {
 		decompT = report.NewTable("T̄ decomposition (% queue / service / net / retry, instrumented pass)", headers...)
@@ -313,6 +337,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		rowC := []string{report.F(rho)}
 		rowP := []string{report.F(rho)}
 		rowDC := []string{report.F(rho)}
+		rowK := []string{report.F(rho)}
 		for k, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
@@ -354,6 +379,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				if cvT != nil {
 					rowC = append(rowC, "-")
 				}
+				if shardT != nil {
+					rowK = append(rowK, "-")
+				}
 				if decompT != nil {
 					rowDC = append(rowDC, "-")
 				}
@@ -385,11 +413,14 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				rowS = append(rowS, strconv.FormatInt(nf.Resubmits, 10))
 			}
 			if withProbe {
-				meanCV, tot, err := probeCell(cfg, f, names[k], rho, pp)
+				meanCV, shardCV, tot, err := probeCell(cfg, f, names[k], rho, pp)
 				if err != nil {
 					skipped = append(skipped, fmt.Sprintf("%s at rho=%s (probe pass): %v", names[k], report.F(rho), err))
 					if cvT != nil {
 						rowC = append(rowC, "-")
+					}
+					if shardT != nil {
+						rowK = append(rowK, "-")
 					}
 					if decompT != nil {
 						rowDC = append(rowDC, "-")
@@ -398,6 +429,14 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 					if cvT != nil {
 						rowC = append(rowC, report.F(meanCV))
 						probeMetrics[fmt.Sprintf("interarrival_cv.%s.rho%s", names[k], report.F(rho))] = meanCV
+					}
+					if shardT != nil {
+						if math.IsNaN(shardCV) {
+							rowK = append(rowK, "-")
+						} else {
+							rowK = append(rowK, report.F(shardCV))
+							probeMetrics[fmt.Sprintf("shard_cv.%s.rho%s", names[k], report.F(rho))] = shardCV
+						}
 					}
 					if decompT != nil {
 						rowDC = append(rowDC, decompCell(tot))
@@ -427,6 +466,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		}
 		if cvT != nil {
 			cvT.AddRow(rowC...)
+		}
+		if shardT != nil {
+			shardT.AddRow(rowK...)
 		}
 		if decompT != nil {
 			decompT.AddRow(rowDC...)
@@ -459,6 +501,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	}
 	if cvT != nil {
 		tables = append(tables, cvT)
+	}
+	if shardT != nil {
+		tables = append(tables, shardT)
 	}
 	if decompT != nil {
 		tables = append(tables, decompT)
@@ -508,24 +553,25 @@ func decompCell(tot probe.SpanStats) string {
 }
 
 // probeCell runs one instrumented pass for a sweep cell (policy × rho)
-// and returns the gap-weighted mean interarrival CV across computers
-// plus the span layer's T̄ decomposition over counted jobs. With an
-// events directory configured it writes the cell's lifecycle stream to
-// "<dir>/<policy>-rho<rho>.jsonl".
-func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho float64, pp cli.ProbeParams) (float64, probe.SpanStats, error) {
+// and returns the gap-weighted mean interarrival CV across computers,
+// the gap-weighted mean interarrival CV across dispatcher replicas (NaN
+// when the cell's policy ran unsharded), plus the span layer's T̄
+// decomposition over counted jobs. With an events directory configured
+// it writes the cell's lifecycle stream to "<dir>/<policy>-rho<rho>.jsonl".
+func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho float64, pp cli.ProbeParams) (float64, float64, probe.SpanStats, error) {
 	var w probe.EventWriter
 	var ef *os.File
 	if pp.Events != "" {
 		var err error
 		ef, err = os.Create(filepath.Join(pp.Events, fmt.Sprintf("%s-rho%s.jsonl", name, report.F(rho))))
 		if err != nil {
-			return 0, probe.SpanStats{}, err
+			return 0, 0, probe.SpanStats{}, err
 		}
 		w = probe.NewJSONLWriter(ef)
 	}
 	pb, err := probe.New(probe.Options{Metrics: pp.Probe || pp.SampleDT > 0, SampleDT: pp.SampleDT, Events: w, Spans: true})
 	if err != nil {
-		return 0, probe.SpanStats{}, err
+		return 0, 0, probe.SpanStats{}, err
 	}
 	probe.PublishLive(pb)
 	// Cells run back to back: release this cell's probe from the debug
@@ -533,14 +579,14 @@ func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho flo
 	defer probe.UnpublishLive(pb)
 	cfg.Probe = pb
 	if _, err := cluster.Run(cfg, f()); err != nil {
-		return 0, probe.SpanStats{}, err
+		return 0, 0, probe.SpanStats{}, err
 	}
 	if err := pb.Flush(); err != nil {
-		return 0, probe.SpanStats{}, err
+		return 0, 0, probe.SpanStats{}, err
 	}
 	if ef != nil {
 		if err := ef.Close(); err != nil {
-			return 0, probe.SpanStats{}, err
+			return 0, 0, probe.SpanStats{}, err
 		}
 	}
 	var sum, n float64
@@ -551,10 +597,25 @@ func probeCell(cfg cluster.Config, f cluster.PolicyFactory, name string, rho flo
 			n += float64(gaps)
 		}
 	}
-	if n == 0 {
-		return 0, pb.SpanTotals(), nil
+	shardCV := math.NaN()
+	if pb.Shards() > 1 {
+		var ksum, kn float64
+		for k := 0; k < pb.Shards(); k++ {
+			cv, gaps := pb.ShardCV(k)
+			if gaps > 1 {
+				ksum += cv * float64(gaps)
+				kn += float64(gaps)
+			}
+		}
+		if kn > 0 {
+			shardCV = ksum / kn
+		}
 	}
-	return sum / n, pb.SpanTotals(), nil
+	meanCV := 0.0
+	if n > 0 {
+		meanCV = sum / n
+	}
+	return meanCV, shardCV, pb.SpanTotals(), nil
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"heterosched/internal/cluster"
@@ -341,6 +342,83 @@ func TestRegistryCoversViolationCodes(t *testing.T) {
 	} {
 		if inv := invariantForCode(code); !names[inv] {
 			t.Errorf("code %s maps to unregistered invariant %s", code, inv)
+		}
+	}
+}
+
+// TestGeneratorSamplesDispatchPlane: the search space must actually
+// exercise the sharded-dispatch plane — over a modest sample, scenarios
+// with K > 1 replicas, with counter sync, and with scalable policies
+// all appear, and each such spec still builds and round-trips.
+func TestGeneratorSamplesDispatchPlane(t *testing.T) {
+	g := NewGenerator(nil)
+	var sharded, synced, scalable int
+	for k := 0; k < 200; k++ {
+		s := g.Spec(k)
+		if s.Dispatchers != "" {
+			sharded++
+		}
+		if s.Sync != "" {
+			synced++
+		}
+		switch {
+		case strings.HasPrefix(s.Policy, "jsq"), strings.HasPrefix(s.Policy, "pod"), s.Policy == "jiq":
+			scalable++
+		}
+	}
+	if sharded == 0 || synced == 0 || scalable == 0 {
+		t.Fatalf("200 scenarios sampled %d sharded / %d synced / %d scalable; every dimension must appear", sharded, synced, scalable)
+	}
+}
+
+// TestCompoundDispatcherCrashSharded is the compound regression the
+// sharding PR adds: dispatcher crashes (network/control-plane layer)
+// composed with K > 1 dispatcher replicas and the exactly-once delivery
+// loop. Buffered jobs replayed after a crash must route through the
+// sharded dispatcher without violating conservation, final-exactly-once
+// or the queue invariants, for both a static sharded plan with counter
+// sync and a scalable JIQ fleet.
+func TestCompoundDispatcherCrashSharded(t *testing.T) {
+	base := Spec{
+		Seed:     11,
+		Rho:      0.6,
+		Duration: 20000,
+		Netfault: "loss:0.05,lat:5,crash:5000:200,down:buffer",
+		AckTO:    "60:4",
+		DState:   "acks",
+	}
+	cases := []struct {
+		label       string
+		policy      string
+		dispatchers string
+		sync        string
+	}{
+		{"static rr sync", "ORR", "4:rr", "500"},
+		{"static hash no-sync", "ORR", "4:hash", ""},
+		{"scalable jiq hash", "jiq", "4:hash", ""},
+		{"scalable jsq2 rr", "jsq(2)", "2:rr", ""},
+	}
+	for _, c := range cases {
+		s := base
+		s.Policy = c.policy
+		s.Dispatchers = c.dispatchers
+		s.Sync = c.sync
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", c.label, err)
+		}
+		rep, err := Execute(back, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if rep.Failed() {
+			t.Errorf("%s violated invariants:\n  spec: %s", c.label, s.String())
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+		if rep.FinalJobs == 0 {
+			t.Errorf("%s: no jobs checked", c.label)
 		}
 	}
 }

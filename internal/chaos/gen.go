@@ -102,7 +102,45 @@ func (g *Generator) Spec(k int) Spec {
 	if netOn {
 		g.sampleNetfault(&s, st, in)
 	}
+	// Dispatch plane last, on its own derived substream so the fault-layer
+	// draws above are byte-for-byte what earlier searches sampled.
+	g.sampleDispatch(&s, rng.New(g.cs.Seed).DeriveIndexed("chaos.scenario.dispatch", k))
 	return s
+}
+
+// sampleDispatch draws the dispatch plane: sometimes a non-default
+// policy (the other static strategies and the scalable state-querying
+// family), sometimes K > 1 dispatcher replicas with rr or hash routing
+// and an optional counter-sync period. The centralized dynamic policies
+// (LL, LL*, JSQ2) are deliberately absent — they reject sharding, and
+// their fault interplay is covered by their own layer tests.
+func (g *Generator) sampleDispatch(s *Spec, st *rng.Stream) {
+	if st.Float64() < 0.4 {
+		n := len(s.Speeds)
+		pool := []string{"WRR", "WRAN", "jiq"}
+		// The sampled-width policies need d computers; keep the spec
+		// buildable for narrow speed vectors.
+		for _, cand := range []struct {
+			name string
+			d    int
+		}{{"jsq(2)", 2}, {"jsq(3)", 3}, {"pod(2):speed", 2}, {"pod(2):alpha", 2}} {
+			if cand.d <= n {
+				pool = append(pool, cand.name)
+			}
+		}
+		s.Policy = pool[st.Intn(len(pool))]
+	}
+	if st.Float64() < 0.5 {
+		k := []int{2, 4, 8}[st.Intn(3)]
+		by := "rr"
+		if st.Float64() < 0.5 {
+			by = "hash"
+		}
+		s.Dispatchers = fmt.Sprintf("%d:%s", k, by)
+		if st.Float64() < 0.4 {
+			s.Sync = fnum6(s.Duration * (0.01 + 0.1*st.Float64()))
+		}
+	}
 }
 
 // sampleOverload draws the overload-protection layer; reports whether

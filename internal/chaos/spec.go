@@ -42,6 +42,12 @@ type Spec struct {
 	Duration float64
 	// Policy is the dispatch policy mnemonic (default ORR).
 	Policy string
+	// Dispatchers is the replica spec in the -dispatchers grammar
+	// ("K[:rr|hash]"); empty means the single central dispatcher.
+	Dispatchers string
+	// Sync is the counter-sync period in the -sync grammar ("never" or
+	// seconds); empty means never.
+	Sync string
 
 	// Compute-fault layer (cli.FaultParams grammar).
 	MTBF, MTTR float64
@@ -88,6 +94,12 @@ func (s Spec) String() string {
 	add("dur", fnum(s.Duration))
 	if s.Policy != "" {
 		add("policy", s.Policy)
+	}
+	if s.Dispatchers != "" {
+		add("dispatchers", s.Dispatchers)
+	}
+	if s.Sync != "" {
+		add("sync", s.Sync)
 	}
 	if s.MTBF > 0 {
 		add("mtbf", fnum(s.MTBF))
@@ -197,6 +209,10 @@ func ParseSpec(s string) (Spec, error) {
 			}
 		case "policy":
 			sp.Policy = val
+		case "dispatchers":
+			sp.Dispatchers = val
+		case "sync":
+			sp.Sync = val
 		case "mtbf":
 			if sp.MTBF, err = num("mtbf"); err != nil {
 				return sp, err
@@ -330,8 +346,12 @@ func (s Spec) Build() (cluster.Config, cluster.PolicyFactory, error) {
 	if policyName == "" {
 		policyName = "ORR"
 	}
+	sharding, err := cli.ParseShardingSpecs(s.Dispatchers, s.Sync)
+	if err != nil {
+		return cfg, nil, err
+	}
 	pf, err := cli.ParsePolicy(policyName, cli.PolicyOptions{
-		Realloc: realloc, Faults: fc, Computers: len(speeds),
+		Realloc: realloc, Faults: fc, Computers: len(speeds), Sharding: sharding,
 	})
 	if err != nil {
 		return cfg, nil, err

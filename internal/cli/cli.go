@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"heterosched/internal/cluster"
+	"heterosched/internal/dispatch"
 	"heterosched/internal/dist"
 	"heterosched/internal/faults"
 	"heterosched/internal/sched"
@@ -155,19 +156,49 @@ type PolicyOptions struct {
 	// Computers is the cluster size (needed to expand ORRA's
 	// availability vector).
 	Computers int
+	// Sharding configures multi-dispatcher simulation (K replicas).
+	// Static and scalable policies shard; the centralized dynamic
+	// policies (LL, LL*, JSQ2) reject K > 1.
+	Sharding ShardingParams
 }
 
 // ParsePolicy parses one policy mnemonic into a factory. Recognized:
 // WRAN, ORAN, WRR, ORR (the paper's Table 2 grid), LL, LL* (instant
 // updates), JSQ2, ORRA (availability-aware ORR; requires -mtbf),
-// ORRCAPx (utilization cap x) and ORR±e (load estimation error e%).
+// ORRCAPx (utilization cap x), ORR±e (load estimation error e%), and
+// the scalable-dispatch family jsq(d), pod(d)[:speed|alpha], jiq
+// (case-insensitive).
 func ParsePolicy(name string, opts PolicyOptions) (cluster.PolicyFactory, error) {
 	static := func(mk func() *sched.Static) cluster.PolicyFactory {
 		return func() cluster.Policy {
 			p := mk()
 			p.Realloc = opts.Realloc
+			if opts.Sharding.Enabled() {
+				p.Dispatchers = opts.Sharding.Dispatchers
+				p.ShardBy = opts.Sharding.ShardBy
+				p.SyncEvery = opts.Sharding.SyncEvery
+			}
 			return p
 		}
+	}
+	scalable := func(mk func() *sched.Scalable) cluster.PolicyFactory {
+		return func() cluster.Policy {
+			p := mk()
+			if opts.Sharding.Enabled() {
+				p.Dispatchers = opts.Sharding.Dispatchers
+				p.ShardBy = opts.Sharding.ShardBy
+			}
+			return p
+		}
+	}
+	central := func(mnemonic string, mk func() cluster.Policy) (cluster.PolicyFactory, error) {
+		if opts.Sharding.Enabled() {
+			return nil, fmt.Errorf("policy %s is a centralized dynamic scheduler and cannot shard (-dispatchers %d)", mnemonic, opts.Sharding.Dispatchers)
+		}
+		return mk, nil
+	}
+	if f, ok, err := parseScalablePolicy(name, scalable); ok || err != nil {
+		return f, err
 	}
 	upper := strings.ToUpper(strings.TrimSpace(name))
 	switch upper {
@@ -180,11 +211,11 @@ func ParsePolicy(name string, opts PolicyOptions) (cluster.PolicyFactory, error)
 	case "ORR":
 		return static(sched.ORR), nil
 	case "LL":
-		return func() cluster.Policy { return sched.NewLeastLoad() }, nil
+		return central("LL", func() cluster.Policy { return sched.NewLeastLoad() })
 	case "LL*":
-		return func() cluster.Policy { return &sched.LeastLoad{Instant: true} }, nil
+		return central("LL*", func() cluster.Policy { return &sched.LeastLoad{Instant: true} })
 	case "JSQ2":
-		return func() cluster.Policy { return sched.NewPowerOfTwo() }, nil
+		return central("JSQ2", func() cluster.Policy { return sched.NewPowerOfTwo() })
 	case "ORRA":
 		if !opts.Faults.Enabled() {
 			return nil, fmt.Errorf("policy ORRA needs a failure model (set -mtbf and -mttr)")
@@ -213,7 +244,57 @@ func ParsePolicy(name string, opts PolicyOptions) (cluster.PolicyFactory, error)
 		}
 		return static(func() *sched.Static { return sched.ORRWithLoadErrorUnstable(rel) }), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx or ORR±e)", name)
+	return nil, fmt.Errorf("unknown policy %q (want WRAN, ORAN, WRR, ORR, LL, LL*, JSQ2, ORRA, ORRCAPx, ORR±e, jsq(d), pod(d)[:speed|alpha] or jiq)", name)
+}
+
+// parseScalablePolicy recognizes the scalable-dispatch mnemonics:
+// jsq(d), pod(d), pod(d):speed, pod(d):alpha and jiq, case-insensitive.
+// ok reports whether the name belongs to this family at all; a
+// malformed member (e.g. "jsq(0)") is ok with a non-nil error.
+func parseScalablePolicy(name string, wrap func(mk func() *sched.Scalable) cluster.PolicyFactory) (cluster.PolicyFactory, bool, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	if lower == "jiq" {
+		return wrap(sched.JIQ), true, nil
+	}
+	sampled := func(prefix string) (int, string, bool, error) {
+		if !strings.HasPrefix(lower, prefix+"(") {
+			return 0, "", false, nil
+		}
+		rest := lower[len(prefix)+1:]
+		dPart, variant, _ := strings.Cut(rest, ")")
+		variant = strings.TrimPrefix(variant, ":")
+		d, err := strconv.Atoi(dPart)
+		if err != nil || !strings.Contains(rest, ")") {
+			return 0, "", true, fmt.Errorf("policy %q: want %s(d) with an integer sample width d, e.g. %s(2)", name, prefix, prefix)
+		}
+		if d < 1 || d > dispatch.MaxSampleWidth {
+			return 0, "", true, fmt.Errorf("policy %q: sample width must be in [1, %d]", name, dispatch.MaxSampleWidth)
+		}
+		return d, variant, true, nil
+	}
+	if d, variant, ok, err := sampled("jsq"); ok {
+		if err != nil {
+			return nil, true, err
+		}
+		if variant != "" {
+			return nil, true, fmt.Errorf("policy %q: jsq(d) takes no variant suffix", name)
+		}
+		return wrap(func() *sched.Scalable { return sched.JSQd(d) }), true, nil
+	}
+	if d, variant, ok, err := sampled("pod"); ok {
+		if err != nil {
+			return nil, true, err
+		}
+		switch variant {
+		case "", "speed":
+			return wrap(func() *sched.Scalable { return sched.PodSpeed(d) }), true, nil
+		case "alpha":
+			return wrap(func() *sched.Scalable { return sched.PodAlpha(d) }), true, nil
+		default:
+			return nil, true, fmt.Errorf("policy %q: pod(d) variant must be speed or alpha", name)
+		}
+	}
+	return nil, false, nil
 }
 
 // ParsePolicies parses a comma-separated policy list.

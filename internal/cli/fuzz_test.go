@@ -216,3 +216,42 @@ func FuzzChaosSpecs(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardingSpecs throws arbitrary strings at the sharded-dispatch
+// flag grammar (-dispatchers, -sync) and the policy mnemonics that
+// consume it. The contract matches the other fuzzers: nothing panics,
+// every rejection carries a message, and every accepted configuration is
+// internally sane (K in range, finite non-negative sync period) and can
+// parameterize the policy parser without laundering bad values through.
+func FuzzShardingSpecs(f *testing.F) {
+	f.Add("1", "never", "ORR")
+	f.Add("4:rr", "100", "orr,wrr,jsq(2)")
+	f.Add("16:hash", "0", "pod(3):alpha,jiq")
+	f.Add("", "", "")
+	f.Add("0", "-1", "LL")
+	f.Add("4:mod", "nan", "jsq(0)")
+	f.Add("99999999999999999999", "inf", "pod(2):fast")
+	f.Add(":", ":", "jsq(")
+	f.Fuzz(func(t *testing.T, dispatchers, sync, policies string) {
+		p, err := ParseShardingSpecs(dispatchers, sync)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from ParseShardingSpecs")
+			}
+			return
+		}
+		if p.Dispatchers < 1 || p.Dispatchers > MaxDispatchers {
+			t.Fatalf("accepted replica count %d for %q", p.Dispatchers, dispatchers)
+		}
+		if math.IsNaN(p.SyncEvery) || math.IsInf(p.SyncEvery, 0) || p.SyncEvery < 0 {
+			t.Fatalf("accepted sync period %v for %q", p.SyncEvery, sync)
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParseShardingSpecs accepted %q %q but Validate rejects: %v", dispatchers, sync, verr)
+		}
+		opts := PolicyOptions{Computers: 8, Sharding: p}
+		if _, _, perr := ParsePolicies(policies, opts); perr != nil && perr.Error() == "" {
+			t.Fatal("empty error message from ParsePolicies under sharding")
+		}
+	})
+}

@@ -95,6 +95,21 @@ func TestSpecParsersConsistency(t *testing.T) {
 			valid: "seeds:10,intensity:0.5,dur:20000",
 			bad:   []string{"intensity:nan", "dur:inf", "seeds:-1", "rho:-0.5", "stall:nan"},
 		},
+		{
+			name: "dispatchers",
+			parse: func(s string) error {
+				_, _, err := ParseDispatchersSpec(s)
+				return err
+			},
+			valid: "4:hash",
+			bad:   []string{"0", "-2", "4:mod", "nan", "2.5"},
+		},
+		{
+			name:  "sync",
+			parse: func(s string) error { _, err := ParseSyncSpec(s); return err },
+			valid: "25",
+			bad:   []string{"nan", "inf", "-5", "often"},
+		},
 	}
 
 	for _, p := range parsers {

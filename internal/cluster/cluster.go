@@ -302,6 +302,10 @@ type Context struct {
 	Lambda, Mu float64
 	// RNG is a dedicated random stream for the policy's own decisions.
 	RNG *rng.Stream
+	// Horizon is the run duration in simulated seconds; policies that
+	// schedule recurring events (e.g. periodic dispatcher counter sync)
+	// must stop at the horizon or a draining run would never finish.
+	Horizon float64
 }
 
 // Policy is a job scheduling policy: it selects a target computer for each
@@ -328,6 +332,42 @@ type Policy interface {
 type FaultAware interface {
 	UpSetChanged(up []bool)
 }
+
+// StateView is the computer state a state-aware policy may observe at
+// decision time — the query channel of the scalable-dispatch family
+// (JSQ(d), biased power-of-d, JIQ). Queries read the live servers, so a
+// policy that never queries costs nothing: the stateless policies keep
+// their zero-query path untouched.
+type StateView interface {
+	// QueueLen returns the number of jobs currently at computer i
+	// (queued plus in service).
+	QueueLen(i int) int
+	// N returns the number of computers.
+	N() int
+}
+
+// StateAware is implemented by policies that query computer state at
+// decision time. The run binds the view once the simulated computers
+// exist — after Init, before the first arrival.
+type StateAware interface {
+	BindState(view StateView)
+}
+
+// ShardedPolicy is implemented by policies that route arrivals through
+// K dispatcher replicas; the probe uses it to attribute each dispatch
+// decision to the replica that made it (per-dispatcher series).
+type ShardedPolicy interface {
+	// Shards returns the number of dispatcher replicas K.
+	Shards() int
+	// LastShard returns the replica index of the most recent Select.
+	LastShard() int
+}
+
+// serverStateView adapts the run's servers to the StateView queries.
+type serverStateView []sim.Server
+
+func (v serverStateView) QueueLen(i int) int { return v[i].InService() }
+func (v serverStateView) N() int             { return len(v) }
 
 // Result aggregates one run's statistics over the post-warm-up jobs.
 type Result struct {
@@ -482,6 +522,7 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		Lambda:      lambda,
 		Mu:          mu,
 		RNG:         policyStream,
+		Horizon:     cfg.Duration,
 	}
 	if dr != nil && dr.Misest.Enabled() {
 		// One-shot misestimation: the policy plans from perturbed inputs
@@ -740,6 +781,23 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// Bind the queue-state view for state-aware policies (the scalable-
+	// dispatch family). This must happen after the servers exist and
+	// before the first arrival; Init runs too early. Stateless policies
+	// don't implement StateAware, so their path is untouched.
+	if sa, ok := policy.(StateAware); ok {
+		sa.BindState(serverStateView(servers))
+	}
+	// Per-dispatcher probe attribution, gated on the probe like every
+	// other instrumentation path so probe-off runs stay bit-identical.
+	var shardOf func() int
+	if pb != nil {
+		if sp, ok := policy.(ShardedPolicy); ok && sp.Shards() > 1 {
+			pb.StartShards(sp.Shards())
+			shardOf = sp.LastShard
+		}
+	}
+
 	var devTracker *deviationTracker
 	if cfg.DeviationInterval > 0 {
 		fp, ok := policy.(FractionProvider)
@@ -993,6 +1051,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 			if pb != nil {
 				pb.NoteSubstream(target, j.Arrival)
+				if shardOf != nil {
+					pb.NoteShard(shardOf(), j.Arrival)
+				}
 			}
 			if inj != nil && inj.AnyDown() {
 				j.Degraded = true
@@ -1150,6 +1211,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 			}
 			pb.Emit(probe.Event{T: en.Now(), Kind: probe.EvDispatch, Job: j.ID, Target: target, Mask: mask})
 			pb.NoteSubstream(target, j.Arrival)
+			if shardOf != nil {
+				pb.NoteShard(shardOf(), j.Arrival)
+			}
 		}
 		inSystem++
 		trackSys()

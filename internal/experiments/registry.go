@@ -136,6 +136,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: []*report.Table{r.Render()}}, nil
 	},
+	"ext-sharding": func(o Options) (*Output, error) {
+		r, err := ExtSharding(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

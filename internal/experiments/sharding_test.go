@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestExtSharding runs the sharded-dispatch grid at a tiny scale and
+// checks its structure: the full policy × K grid is populated, every
+// cell completed jobs (positive mean response time), and the
+// instrumented pass produced a finite per-computer interarrival CV.
+func TestExtSharding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=500 grid is slow; skipped under -short")
+	}
+	res, err := ExtSharding(Options{Scale: 0.002, Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N < 500 {
+		t.Fatalf("ext-sharding ran n=%d, want at least 500", res.N)
+	}
+	if len(res.Times) != len(res.Policies) || len(res.CVs) != len(res.Policies) {
+		t.Fatalf("grid rows %d/%d for %d policies", len(res.Times), len(res.CVs), len(res.Policies))
+	}
+	for p, policy := range res.Policies {
+		if len(res.Times[p]) != len(res.Ks) || len(res.CVs[p]) != len(res.Ks) {
+			t.Fatalf("%s: grid columns %d/%d for %d replica counts", policy, len(res.Times[p]), len(res.CVs[p]), len(res.Ks))
+		}
+		for k, kk := range res.Ks {
+			if res.Times[p][k].Mean <= 0 {
+				t.Errorf("%s K=%d: mean response time %v, want positive", policy, kk, res.Times[p][k].Mean)
+			}
+			if res.CVs[p][k] < 0 {
+				t.Errorf("%s K=%d: interarrival CV %v, want non-negative", policy, kk, res.CVs[p][k])
+			}
+		}
+	}
+	tables := res.Render()
+	if len(tables) != 2 {
+		t.Fatalf("Render() produced %d tables, want 2", len(tables))
+	}
+}

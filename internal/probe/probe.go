@@ -73,6 +73,15 @@ type Probe struct {
 	lastDelivery  []float64
 	deliveredGaps []stats.Accumulator
 
+	// Per-dispatcher (shard) series, allocated by StartShards only when
+	// a multi-dispatcher policy is active (inert otherwise): per-replica
+	// decision counts and the interarrival statistics of each replica's
+	// arrival substream.
+	shardJobs    []int64
+	shardLast    []float64
+	shardGaps    []stats.Accumulator
+	shardCounter []*Counter
+
 	// Netfault series, allocated by StartNetfault only when the
 	// network-fault layer is active (inert otherwise).
 	linkInFlight []*Series
@@ -165,6 +174,70 @@ func (p *Probe) Start(n int, now float64) {
 	for i := range p.lastDelivery {
 		p.lastDelivery[i] = math.NaN()
 	}
+}
+
+// StartShards sizes the per-dispatcher metric vectors for a K-replica
+// sharded policy. The simulation calls it after Start, only when the
+// policy actually shards (K > 1); otherwise these series never exist.
+func (p *Probe) StartShards(k int) {
+	if p == nil || k < 1 {
+		return
+	}
+	p.shardJobs = make([]int64, k)
+	p.shardLast = make([]float64, k)
+	p.shardGaps = make([]stats.Accumulator, k)
+	for i := range p.shardLast {
+		p.shardLast[i] = math.NaN()
+	}
+	if p.opts.Metrics {
+		p.shardCounter = make([]*Counter, k)
+		for i := range p.shardCounter {
+			p.shardCounter[i] = p.reg.Counter("shard_jobs." + strconv.Itoa(i))
+		}
+	}
+}
+
+// NoteShard records that the arrival at the given time was routed by
+// dispatcher replica k, feeding the per-dispatcher decision counts and
+// substream interarrival statistics.
+func (p *Probe) NoteShard(k int, arrival float64) {
+	if p.shardJobs == nil || k < 0 || k >= len(p.shardJobs) {
+		return
+	}
+	p.shardJobs[k]++
+	if p.shardCounter != nil {
+		p.shardCounter[k].Inc()
+	}
+	if last := p.shardLast[k]; !math.IsNaN(last) {
+		p.shardGaps[k].Add(arrival - last)
+	}
+	p.shardLast[k] = arrival
+}
+
+// Shards returns the number of dispatcher replicas being tracked (0
+// when the policy does not shard).
+func (p *Probe) Shards() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.shardJobs)
+}
+
+// ShardJobs returns the number of arrivals routed by replica k.
+func (p *Probe) ShardJobs(k int) int64 {
+	if p == nil || k < 0 || k >= len(p.shardJobs) {
+		return 0
+	}
+	return p.shardJobs[k]
+}
+
+// ShardCV returns the interarrival CV of replica k's routed substream
+// and the number of gaps observed.
+func (p *Probe) ShardCV(k int) (cv float64, gaps int64) {
+	if p == nil || k < 0 || k >= len(p.shardGaps) {
+		return 0, 0
+	}
+	return p.shardGaps[k].CV(), p.shardGaps[k].N()
 }
 
 // StartNetfault sizes the network-fault metric vectors: per-link

@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"fmt"
+
+	"heterosched/internal/alloc"
+	"heterosched/internal/cluster"
+	"heterosched/internal/dispatch"
+	"heterosched/internal/rng"
+	"heterosched/internal/sim"
+)
+
+// This file wires the scalable-dispatch family (internal/dispatch:
+// JSQ(d), heterogeneity-biased power-of-d, JIQ) into complete policies.
+// Unlike the static policies, these query live computer state at
+// decision time through cluster.StateView, and they shard naturally: K
+// dispatcher replicas each sample or hold idle tokens independently, so
+// no counter synchronization is needed — the trade the Gardner et al.
+// family makes against Algorithm 2's carefully smoothed substreams.
+
+// ScalableKind selects the state-querying dispatch strategy.
+type ScalableKind int
+
+const (
+	// ScalableJSQ is JSQ(d): sample d uniformly, join the shortest queue.
+	ScalableJSQ ScalableKind = iota
+	// ScalablePodSpeed is power-of-d with sampling biased by speed.
+	ScalablePodSpeed
+	// ScalablePodAlpha is power-of-d biased by Algorithm 1's optimized
+	// allocation fractions.
+	ScalablePodAlpha
+	// ScalableJIQ is join-idle-queue with a speed-biased power-of-d
+	// fallback.
+	ScalableJIQ
+)
+
+// Scalable is a scalable-dispatch policy: K dispatcher replicas, each
+// owning a private sampler (and, for JIQ, a private idle-token list),
+// querying queue lengths through the cluster's StateView at decision
+// time. The zero value of Dispatchers means a single dispatcher.
+type Scalable struct {
+	// Kind selects the strategy; D is the sample width (default 2).
+	Kind ScalableKind
+	D    int
+	// Dispatchers is the number of dispatcher replicas K (default 1);
+	// ShardBy selects how arrivals are routed to replicas.
+	Dispatchers int
+	ShardBy     dispatch.ShardBy
+	// Label overrides the derived name when non-empty.
+	Label string
+
+	ctx     *cluster.Context
+	view    cluster.StateView
+	sharded *dispatch.Sharded
+	jiqs    []*dispatch.JIQ
+	tokenRR uint64
+}
+
+var (
+	_ cluster.Policy        = (*Scalable)(nil)
+	_ cluster.StateAware    = (*Scalable)(nil)
+	_ cluster.FaultAware    = (*Scalable)(nil)
+	_ cluster.ShardedPolicy = (*Scalable)(nil)
+)
+
+// JSQd returns JSQ(d) with a single dispatcher.
+func JSQd(d int) *Scalable { return &Scalable{Kind: ScalableJSQ, D: d} }
+
+// PodSpeed returns speed-biased power-of-d with a single dispatcher.
+func PodSpeed(d int) *Scalable { return &Scalable{Kind: ScalablePodSpeed, D: d} }
+
+// PodAlpha returns α-biased power-of-d with a single dispatcher.
+func PodAlpha(d int) *Scalable { return &Scalable{Kind: ScalablePodAlpha, D: d} }
+
+// JIQ returns join-idle-queue with a single dispatcher.
+func JIQ() *Scalable { return &Scalable{Kind: ScalableJIQ} }
+
+func (s *Scalable) d() int {
+	if s.D <= 0 {
+		return 2
+	}
+	return s.D
+}
+
+func (s *Scalable) k() int {
+	if s.Dispatchers <= 0 {
+		return 1
+	}
+	return s.Dispatchers
+}
+
+// Name returns the strategy mnemonic, suffixed with the replica count
+// when sharded (e.g. "jsq(2)xK4").
+func (s *Scalable) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	var base string
+	switch s.Kind {
+	case ScalableJSQ:
+		base = fmt.Sprintf("jsq(%d)", s.d())
+	case ScalablePodSpeed:
+		base = fmt.Sprintf("pod(%d):speed", s.d())
+	case ScalablePodAlpha:
+		base = fmt.Sprintf("pod(%d):alpha", s.d())
+	case ScalableJIQ:
+		base = "jiq"
+	default:
+		base = fmt.Sprintf("scalable(%d)", int(s.Kind))
+	}
+	if s.k() > 1 {
+		return fmt.Sprintf("%sxK%d", base, s.k())
+	}
+	return base
+}
+
+// Init builds the K dispatcher replicas. Replica 0 samples from the
+// policy's base dispatch stream and replica k > 0 from a derived
+// substream, the same layout as the sharded static policies.
+func (s *Scalable) Init(ctx *cluster.Context) error {
+	s.ctx = ctx
+	n := len(ctx.Speeds)
+	d := s.d()
+	if d > n {
+		return fmt.Errorf("sched: %s needs at least %d computers, have %d", s.Name(), d, n)
+	}
+	base := ctx.RNG.Derive("dispatch")
+	streams := shardStreams(base, s.k())
+
+	var alphas []float64
+	if s.Kind == ScalablePodAlpha {
+		planRho := ctx.Utilization
+		if planRho >= MaxPlanRho {
+			planRho = MaxPlanRho
+		}
+		fr, err := alloc.Optimized{}.Allocate(ctx.Speeds, planRho)
+		if err != nil {
+			return fmt.Errorf("sched: %s bias allocation: %w", s.Name(), err)
+		}
+		alphas = fr
+	}
+
+	factory := func(k int) (dispatch.Dispatcher, error) {
+		st := streams[k]
+		switch s.Kind {
+		case ScalableJSQ:
+			return dispatch.NewJSQD(n, d, st)
+		case ScalablePodSpeed:
+			return dispatch.NewBiasedPowerOfD(ctx.Speeds, d, "speed", st)
+		case ScalablePodAlpha:
+			return dispatch.NewBiasedPowerOfD(alphas, d, "alpha", st)
+		case ScalableJIQ:
+			fb, err := dispatch.NewBiasedPowerOfD(ctx.Speeds, d, "speed", st)
+			if err != nil {
+				return nil, err
+			}
+			return dispatch.NewJIQ(n, fb)
+		default:
+			return nil, fmt.Errorf("sched: unknown scalable kind %d", int(s.Kind))
+		}
+	}
+	sh, err := dispatch.NewSharded(s.k(), s.ShardBy, factory)
+	if err != nil {
+		return fmt.Errorf("sched: %s dispatcher: %w", s.Name(), err)
+	}
+	s.sharded = sh
+	s.jiqs = nil
+	if s.Kind == ScalableJIQ {
+		s.jiqs = make([]*dispatch.JIQ, s.k())
+		for k := range s.jiqs {
+			s.jiqs[k] = sh.Replica(k).(*dispatch.JIQ)
+		}
+	}
+	return nil
+}
+
+// BindState installs the queue-state view on every replica and seeds
+// the initial idle tokens (every computer starts idle), distributed
+// round-robin across the JIQ replicas.
+func (s *Scalable) BindState(view cluster.StateView) {
+	s.view = view
+	for k := 0; k < s.sharded.K(); k++ {
+		if sb, ok := s.sharded.Replica(k).(dispatch.StateBound); ok {
+			sb.Bind(view)
+		}
+	}
+	for i := 0; i < view.N(); i++ {
+		s.reportIdle(i)
+	}
+}
+
+// reportIdle hands computer i's idle token to the next JIQ replica
+// round-robin, the decentralized token placement of the JIQ design.
+func (s *Scalable) reportIdle(i int) {
+	if s.jiqs == nil {
+		return
+	}
+	k := int(s.tokenRR % uint64(len(s.jiqs)))
+	s.tokenRR++
+	s.jiqs[k].ReportIdle(i)
+}
+
+// Select routes the arrival to a dispatcher replica and delegates the
+// sampling decision to it.
+func (s *Scalable) Select(j *sim.Job) int {
+	if s.ShardBy == dispatch.ShardHash {
+		return s.sharded.NextFor(j.ID)
+	}
+	return s.sharded.Next()
+}
+
+// Departed reports an idle token when the departure left the computer
+// empty (JIQ only; the samplers read queue state on demand).
+func (s *Scalable) Departed(j *sim.Job) {
+	if s.jiqs == nil || s.view == nil || j.Target < 0 {
+		return
+	}
+	if s.view.QueueLen(j.Target) == 0 {
+		s.reportIdle(j.Target)
+	}
+}
+
+// UpSetChanged masks every replica. With all computers up the mask is
+// cleared; with none up the replicas keep their previous mask (same
+// keep-previous semantics as the static policies).
+func (s *Scalable) UpSetChanged(up []bool) {
+	if s.sharded == nil || len(up) != len(s.ctx.Speeds) {
+		return
+	}
+	nUp := 0
+	for _, u := range up {
+		if u {
+			nUp++
+		}
+	}
+	switch nUp {
+	case 0:
+		return
+	case len(up):
+		_ = s.sharded.SetUp(nil)
+	default:
+		_ = s.sharded.SetUp(up)
+	}
+}
+
+// Shards returns the replica count K.
+func (s *Scalable) Shards() int { return s.k() }
+
+// LastShard returns the replica that made the most recent decision.
+func (s *Scalable) LastShard() int {
+	if s.sharded == nil {
+		return 0
+	}
+	return s.sharded.LastReplica()
+}
+
+// Sharded exposes the K-replica wrapper (tests and reports).
+func (s *Scalable) Sharded() *dispatch.Sharded { return s.sharded }
+
+// shardStreams returns the per-replica sampling streams: replica 0 keeps
+// the base stream (so K=1 is bit-identical to an unsharded dispatcher)
+// and replica k > 0 gets an indexed derivation. Derivation does not
+// consume parent stream state.
+func shardStreams(base *rng.Stream, k int) []*rng.Stream {
+	streams := make([]*rng.Stream, k)
+	streams[0] = base
+	for i := 1; i < k; i++ {
+		streams[i] = base.DeriveIndexed("shard", i)
+	}
+	return streams
+}

@@ -108,11 +108,31 @@ type Static struct {
 	// Realloc selects the reaction to computer failures (only relevant
 	// when the run injects faults; default ReallocStale).
 	Realloc ReallocMode
+	// Dispatchers is the number of dispatcher replicas K (default 1,
+	// the paper's single central scheduler). With K > 1 each replica
+	// owns private dispatch state over the arrival substream routed to
+	// it (dispatch.Sharded); the K=1 path is untouched and bit-identical.
+	Dispatchers int
+	// ShardBy selects how arrivals are routed to replicas (rr or hash);
+	// only meaningful with Dispatchers > 1.
+	ShardBy dispatch.ShardBy
+	// SyncEvery, when positive and Dispatchers > 1, periodically
+	// synchronizes the replicas' Algorithm 2 counters every SyncEvery
+	// simulated seconds (dispatch.Sharded.SyncNow). Zero means never.
+	SyncEvery float64
 
 	ctx         *cluster.Context
 	dispatchRNG *rng.Stream
-	fractions   []float64
-	dispatcher  dispatch.Dispatcher
+	// shardRNGs are the per-replica dispatch streams, derived once at
+	// Init and reused across dispatcher rebuilds like dispatchRNG.
+	shardRNGs  []*rng.Stream
+	fractions  []float64
+	dispatcher dispatch.Dispatcher
+	// sharded is the K-replica wrapper when Shards > 1 (it is then also
+	// the value of dispatcher); nil on the unsharded path.
+	sharded *dispatch.Sharded
+	// syncs counts performed counter-sync rounds.
+	syncs int64
 	// lastUp remembers the most recent availability mask so a Replan can
 	// reapply it to the rebuilt dispatcher.
 	lastUp []bool
@@ -136,7 +156,11 @@ func (s *Static) Name() string {
 	if s.Label != "" {
 		return s.Label
 	}
-	return s.Allocator.Name() + s.Kind.String()
+	name := s.Allocator.Name() + s.Kind.String()
+	if s.Dispatchers > 1 {
+		name = fmt.Sprintf("%sxK%d", name, s.Dispatchers)
+	}
+	return name
 }
 
 // Init computes the allocation for the run's speeds and utilization and
@@ -149,6 +173,9 @@ func (s *Static) Init(ctx *cluster.Context) error {
 	// so the random-dispatch sequence continues instead of restarting.
 	// Derivation does not consume parent stream state.
 	s.dispatchRNG = ctx.RNG.Derive("dispatch")
+	if s.Dispatchers > 1 {
+		s.shardRNGs = shardStreams(s.dispatchRNG, s.Dispatchers)
+	}
 	planRho := ctx.Utilization
 	if planRho >= MaxPlanRho {
 		planRho = MaxPlanRho
@@ -158,10 +185,89 @@ func (s *Static) Init(ctx *cluster.Context) error {
 		return fmt.Errorf("sched: %s allocation: %w", s.Name(), err)
 	}
 	s.fractions = fr
-	if s.dispatcher, err = s.newDispatcher(fr); err != nil {
+	if s.dispatcher, err = s.buildDispatcher(fr); err != nil {
 		return fmt.Errorf("sched: %s dispatcher: %w", s.Name(), err)
 	}
+	s.scheduleSync()
 	return nil
+}
+
+// buildDispatcher builds the run's dispatcher over fr: the bare strategy
+// on the unsharded path, or the K-replica wrapper when Shards > 1.
+func (s *Static) buildDispatcher(fr []float64) (dispatch.Dispatcher, error) {
+	if s.Dispatchers <= 1 {
+		s.sharded = nil
+		return s.newDispatcher(fr)
+	}
+	sh, err := dispatch.NewSharded(s.Dispatchers, s.ShardBy, func(k int) (dispatch.Dispatcher, error) {
+		return s.newReplicaDispatcher(fr, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sharded = sh
+	return sh, nil
+}
+
+// newReplicaDispatcher builds replica k's private dispatcher. Replica 0
+// keeps the base dispatch stream, so K=1 sharding is bit-identical to
+// the unsharded dispatcher.
+func (s *Static) newReplicaDispatcher(fr []float64, k int) (dispatch.Dispatcher, error) {
+	switch s.Kind {
+	case RandomDispatch:
+		return dispatch.NewRandom(fr, s.shardRNGs[k])
+	case RoundRobinDispatch:
+		return dispatch.NewRoundRobin(fr)
+	case CyclicDispatch:
+		return dispatch.NewCyclicWRR(fr, 1000)
+	default:
+		return nil, fmt.Errorf("sched: unknown dispatch kind %v", s.Kind)
+	}
+}
+
+// scheduleSync installs the periodic counter-sync chain (Shards > 1 and
+// SyncEvery > 0 only; otherwise no event is ever scheduled, keeping
+// sharding-off runs bit-identical). The chain self-terminates at the
+// run horizon so draining runs finish.
+func (s *Static) scheduleSync() {
+	if s.sharded == nil || !(s.SyncEvery > 0) || s.ctx.Engine == nil || !(s.ctx.Horizon > 0) {
+		return
+	}
+	en := s.ctx.Engine
+	var tick func()
+	tick = func() {
+		if sh := s.sharded; sh != nil {
+			if sh.SyncNow() > 1 {
+				s.syncs++
+			}
+		}
+		if en.Now()+s.SyncEvery <= s.ctx.Horizon {
+			en.ScheduleAfter(s.SyncEvery, tick)
+		}
+	}
+	if s.SyncEvery <= s.ctx.Horizon {
+		en.ScheduleAfter(s.SyncEvery, tick)
+	}
+}
+
+// Syncs returns how many counter-sync rounds actually exchanged state.
+func (s *Static) Syncs() int64 { return s.syncs }
+
+// Shards returns the dispatcher replica count K (cluster.ShardedPolicy).
+func (s *Static) Shards() int {
+	if s.Dispatchers <= 1 {
+		return 1
+	}
+	return s.Dispatchers
+}
+
+// LastShard returns the replica that made the most recent decision
+// (cluster.ShardedPolicy).
+func (s *Static) LastShard() int {
+	if s.sharded == nil {
+		return 0
+	}
+	return s.sharded.LastReplica()
 }
 
 // newDispatcher builds the configured dispatcher kind over fr.
@@ -178,8 +284,15 @@ func (s *Static) newDispatcher(fr []float64) (dispatch.Dispatcher, error) {
 	}
 }
 
-// Select dispatches the next job.
-func (s *Static) Select(*sim.Job) int { return s.dispatcher.Next() }
+// Select dispatches the next job. Hash-sharded routing keys on the job
+// ID; the unsharded (and round-robin-sharded) path is the original
+// zero-argument dispatch.
+func (s *Static) Select(j *sim.Job) int {
+	if s.sharded != nil && s.ShardBy == dispatch.ShardHash {
+		return s.sharded.NextFor(j.ID)
+	}
+	return s.dispatcher.Next()
+}
 
 // Departed is a no-op: static policies ignore system state.
 func (s *Static) Departed(*sim.Job) {}
@@ -206,7 +319,7 @@ func (s *Static) UpSetChanged(up []bool) {
 	s.lastUp = append(s.lastUp[:0], up...)
 	if s.Realloc == ReallocResolve {
 		fr := s.resolveFractions(up)
-		if d, err := s.newDispatcher(fr); err == nil {
+		if d, err := s.buildDispatcher(fr); err == nil {
 			s.fractions = fr
 			s.dispatcher = d
 		}
@@ -253,7 +366,7 @@ func (s *Static) Replan(speeds []float64, rho float64) error {
 	if err != nil {
 		return fmt.Errorf("sched: %s replan allocation: %w", s.Name(), err)
 	}
-	d, err := s.newDispatcher(fr)
+	d, err := s.buildDispatcher(fr)
 	if err != nil {
 		return fmt.Errorf("sched: %s replan dispatcher: %w", s.Name(), err)
 	}
@@ -277,7 +390,7 @@ func (s *Static) ReplanProportional(speeds []float64) error {
 	if err != nil {
 		return fmt.Errorf("sched: %s proportional fallback: %w", s.Name(), err)
 	}
-	d, err := s.newDispatcher(fr)
+	d, err := s.buildDispatcher(fr)
 	if err != nil {
 		return fmt.Errorf("sched: %s proportional fallback dispatcher: %w", s.Name(), err)
 	}
