@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_2026-08-06.json
 # hardware differs from the baseline machine; locally 10% is realistic.
 BENCH_THRESHOLD ?= 0.10
 
-.PHONY: all build test check race stress vet fmt clean probe-smoke trace-smoke netfault-smoke shard-smoke chaos-smoke benchcheck bench-baseline
+.PHONY: all build test check race stress vet fmt clean probe-smoke trace-smoke netfault-smoke shard-smoke ctrl-smoke chaos-smoke benchcheck bench-baseline
 
 all: build
 
@@ -103,6 +103,22 @@ shard-smoke:
 		> shard-out/report.txt
 	$(GO) run ./cmd/probecheck -manifest shard-out/manifest.json \
 		-events shard-out/events.jsonl -require-terminal
+
+# ctrl-smoke runs a short simulation with the JIQ policy's idle-token
+# reports carried over lossy, slow control links (leases and a query
+# timeout active) under K=4 hash-routed dispatcher replicas, fully
+# instrumented, and validates the artifacts with probecheck: control-
+# plane faults must not break exactly-once terminals or the manifest
+# contract.
+ctrl-smoke:
+	mkdir -p ctrl-out
+	$(GO) run ./cmd/heterosim -speeds 1,1,2,10 -rho 0.7 \
+		-policy jiq -dispatchers 4:hash \
+		-ctrl 'loss:0.2,lat:5,lease:200,qto:50' -duration 2e3 -reps 1 -probe \
+		-events ctrl-out/events.jsonl -manifest ctrl-out/manifest.json \
+		> ctrl-out/report.txt
+	$(GO) run ./cmd/probecheck -manifest ctrl-out/manifest.json \
+		-events ctrl-out/events.jsonl -require-terminal
 
 # chaos-smoke samples a bounded budget of composed fault scenarios
 # (faults x overload x drift x netfault) and checks every run against the

@@ -58,6 +58,7 @@ import (
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
+	"heterosched/internal/ctrlplane"
 	"heterosched/internal/dist"
 	"heterosched/internal/probe"
 	"heterosched/internal/report"
@@ -105,6 +106,7 @@ func main() {
 	netfaultFlag := flag.String("netfault", "", "network-fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], crash:MTBF:MTTR, down:drop|buffer[:CAP]|failover, part:FROM:TO[:L1+L2+...]")
 	ackto := flag.String("ackto", "", "dispatch ack timeout TO[:BUDGET[:BASE:MAX[:JITTER]]]; required when the network can lose messages")
 	dstate := flag.String("dstate", "", "dispatcher state recovery after a crash: acks, ckpt:DT[:CLIENTTO] or cold[:RELEARN[:CLIENTTO]] (needs a crash item)")
+	ctrlFlag := flag.String("ctrl", "", "control-plane fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], lease:T, qto:T, part:FROM:TO[:L1+L2+...], dpart:FROM:TO[:K1+K2+...]")
 	flag.Parse()
 	start := time.Now()
 
@@ -167,6 +169,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctrlCfg, err := cli.CtrlParams{Ctrl: *ctrlFlag}.Build(len(speeds), sharding.Dispatchers)
+	if err != nil {
+		fatal(err)
+	}
 	factory, err := cli.ParsePolicy(*policyFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -188,6 +194,7 @@ func main() {
 		Drift:       driftCfg,
 		Adapt:       adaptCfg,
 		Netfault:    netfaultCfg,
+		Ctrl:        ctrlCfg,
 	}
 	if *cv == 1 {
 		cfg.ExponentialArrivals = true
@@ -397,6 +404,31 @@ func main() {
 		}
 	}
 
+	if r0.Ctrl != nil {
+		fmt.Println()
+		var cp ctrlplane.Stats
+		for _, run := range res.Runs {
+			cp.Add(run.Ctrl)
+		}
+		ct := report.NewTable("control plane (sums across replications)", "metric", "value")
+		ct.AddRow("idle tokens sent / dup / lost", fmt.Sprintf("%d / %d / %d", cp.TokensSent, cp.TokensDup, cp.TokensLost))
+		ct.AddRow("tokens delivered / accepted / deduped",
+			fmt.Sprintf("%d / %d / %d", cp.TokensDelivered, cp.TokensAccepted, cp.TokensDeduped))
+		ct.AddRow("tokens spent / expired / discarded / extant",
+			fmt.Sprintf("%d / %d / %d / %d", cp.TokensSpent, cp.TokensExpired, cp.TokensDiscarded, cp.TokensExtant))
+		ct.AddRow("queries sent / lost / late", fmt.Sprintf("%d / %d / %d", cp.Queries, cp.QueriesLost, cp.QueriesLate))
+		ct.AddRow("stale / blind cache reads", fmt.Sprintf("%d / %d", cp.StaleReads, cp.BlindReads))
+		ct.AddRow("decisions / query timeouts", fmt.Sprintf("%d / %d", cp.Decisions, cp.DecisionTimeouts))
+		ct.AddRow("query wait charged (s)", report.F(cp.QueryWait))
+		if cp.SyncSent > 0 {
+			ct.AddRow("sync frames sent / dup / lost", fmt.Sprintf("%d / %d / %d", cp.SyncSent, cp.SyncDup, cp.SyncLost))
+			ct.AddRow("sync frames applied / stale", fmt.Sprintf("%d / %d", cp.SyncApplied, cp.SyncStale))
+		}
+		if _, err := ct.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if pb != nil {
 		fmt.Println()
 		et := report.NewTable("lifecycle events (instrumented rep-0 pass)", "event", "count")
@@ -535,6 +567,9 @@ func main() {
 				m.Config["dstate"] = *dstate
 			}
 		}
+		if ctrlCfg != nil {
+			m.Config["ctrl"] = *ctrlFlag
+		}
 		if adaptCfg != nil {
 			m.Config["replan"] = *replan
 			if *estimator != "" {
@@ -556,6 +591,12 @@ func main() {
 		if r0.Adaptive != nil {
 			m.Metrics["adapt_replans"] = float64(r0.Adaptive.Replans)
 			m.Metrics["adapt_rho_hat"] = r0.Adaptive.RhoHat
+		}
+		if r0.Ctrl != nil {
+			m.Metrics["ctrl_tokens_lost"] = float64(r0.Ctrl.TokensLost)
+			m.Metrics["ctrl_tokens_expired"] = float64(r0.Ctrl.TokensExpired)
+			m.Metrics["ctrl_query_timeouts"] = float64(r0.Ctrl.DecisionTimeouts)
+			m.Metrics["ctrl_query_wait"] = r0.Ctrl.QueryWait
 		}
 		if pb != nil {
 			for k, v := range pb.Registry().FinalSnapshot() {

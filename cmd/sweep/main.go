@@ -24,6 +24,11 @@
 // tables report jobs lost to the network and resubmission counts per
 // point.
 //
+// With -ctrl set, the scalable policies' own control messages (JIQ
+// idle tokens, jsq/pod(d) queue-length queries, counter-sync frames)
+// travel over faulty links too, and two extra tables report control
+// messages lost and query wait charged to dispatch latency per point.
+//
 // Observability: -probe adds an instrumented pass per sweep cell and a
 // table of per-computer interarrival CVs (mean across computers) — the
 // paper's §3 burstiness measurement, showing round-robin splitting
@@ -45,6 +50,7 @@ import (
 
 	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
+	"heterosched/internal/ctrlplane"
 	"heterosched/internal/drift"
 	"heterosched/internal/faults"
 	"heterosched/internal/netfault"
@@ -91,6 +97,7 @@ func main() {
 	netfaultFlag := flag.String("netfault", "", "network-fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], crash:MTBF:MTTR, down:drop|buffer[:CAP]|failover, part:FROM:TO[:L1+L2+...]")
 	ackto := flag.String("ackto", "", "dispatch ack timeout TO[:BUDGET[:BASE:MAX[:JITTER]]]; required when the network can lose messages")
 	dstate := flag.String("dstate", "", "dispatcher state recovery after a crash: acks, ckpt:DT[:CLIENTTO] or cold[:RELEARN[:CLIENTTO]] (needs a crash item)")
+	ctrlFlag := flag.String("ctrl", "", "control-plane fault specs, comma-separated: loss:P[:LINK], dup:P[:LINK], lat:MEAN[:LINK], lease:T, qto:T, part:FROM:TO[:L1+L2+...], dpart:FROM:TO[:K1+K2+...]")
 	flag.Parse()
 	start := time.Now()
 
@@ -161,6 +168,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctrlCfg, err := cli.CtrlParams{Ctrl: *ctrlFlag}.Build(len(speeds), sharding.Dispatchers)
+	if err != nil {
+		fatal(err)
+	}
 	names, factories, err := cli.ParsePolicies(*policiesFlag, cli.PolicyOptions{
 		Realloc:   mode,
 		Faults:    faultCfg,
@@ -176,7 +187,7 @@ func main() {
 		fatal(fmt.Errorf("empty sweep: from=%v to=%v step=%v", *from, *to, *step))
 	}
 
-	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, netfaultCfg, pp, sharding.Enabled())
+	tables, csvTable, probeMetrics, err := runSweep(speeds, rhos, names, factories, *duration, *reps, *seed, *cv, faultCfg, ovCfg, driftCfg, adaptCfg, netfaultCfg, ctrlCfg, pp, sharding.Enabled())
 	if err != nil {
 		fatal(err)
 	}
@@ -230,6 +241,9 @@ func main() {
 				m.Config["dstate"] = *dstate
 			}
 		}
+		if ctrlCfg != nil {
+			m.Config["ctrl"] = *ctrlFlag
+		}
 		if pp.SampleDT > 0 {
 			m.Config["sample_dt"] = pp.SampleDT
 		}
@@ -278,7 +292,7 @@ func sweepValues(from, to, step float64) []float64 {
 func runSweep(speeds, rhos []float64, names []string, factories []cluster.PolicyFactory,
 	duration float64, reps int, seed uint64, cv float64, faultCfg *faults.Config,
 	ovCfg *cluster.OverloadConfig, driftCfg *drift.Config, adaptCfg *cluster.AdaptConfig,
-	nfCfg *netfault.Config, pp cli.ProbeParams, sharded bool,
+	nfCfg *netfault.Config, ctrlCfg *ctrlplane.Config, pp cli.ProbeParams, sharded bool,
 ) ([]*report.Table, *report.Table, map[string]float64, error) {
 	headers := append([]string{"rho"}, names...)
 	ratio := report.NewTable("mean response ratio", headers...)
@@ -304,6 +318,13 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	if withNetfault {
 		netT = report.NewTable("jobs lost to the network + dropped by the dispatcher (sum across replications)", headers...)
 		resubT = report.NewTable("network resubmissions (sum across replications)", headers...)
+	}
+	withCtrl := ctrlCfg.Enabled()
+	var ctrlLostT, ctrlWaitT *report.Table
+	if withCtrl {
+		ctrlLostT = report.NewTable("control messages lost (tokens + queries + sync frames, sum across replications)", headers...)
+		ctrlWaitT = report.NewTable("query wait charged to dispatch latency (s, sum across replications)", headers...)
+		ctrlWaitT.AddNote("\"-\" for policies that issue no queue-length probes (the layer still carries their tokens or sync frames)")
 	}
 	withProbe := pp.Active()
 	probeMetrics := map[string]float64{}
@@ -338,6 +359,8 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 		rowP := []string{report.F(rho)}
 		rowDC := []string{report.F(rho)}
 		rowK := []string{report.F(rho)}
+		rowCL := []string{report.F(rho)}
+		rowCW := []string{report.F(rho)}
 		for k, f := range factories {
 			cfg := cluster.Config{
 				Speeds:      speeds,
@@ -350,6 +373,7 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				Drift:       driftCfg,
 				Adapt:       adaptCfg,
 				Netfault:    nfCfg,
+				Ctrl:        ctrlCfg,
 			}
 			if cv == 1 {
 				cfg.ExponentialArrivals = true
@@ -375,6 +399,10 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				if withNetfault {
 					rowN = append(rowN, "-")
 					rowS = append(rowS, "-")
+				}
+				if withCtrl {
+					rowCL = append(rowCL, "-")
+					rowCW = append(rowCW, "-")
 				}
 				if cvT != nil {
 					rowC = append(rowC, "-")
@@ -411,6 +439,18 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 				}
 				rowN = append(rowN, strconv.FormatInt(nf.LostNetwork+nf.DownDropped, 10))
 				rowS = append(rowS, strconv.FormatInt(nf.Resubmits, 10))
+			}
+			if withCtrl {
+				var cp ctrlplane.Stats
+				for _, run := range res.Runs {
+					cp.Add(run.Ctrl)
+				}
+				rowCL = append(rowCL, strconv.FormatInt(cp.TokensLost+cp.QueriesLost+cp.SyncLost, 10))
+				if cp.Decisions > 0 {
+					rowCW = append(rowCW, report.F(cp.QueryWait))
+				} else {
+					rowCW = append(rowCW, "-")
+				}
 			}
 			if withProbe {
 				meanCV, shardCV, tot, err := probeCell(cfg, f, names[k], rho, pp)
@@ -464,6 +504,10 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 			netT.AddRow(rowN...)
 			resubT.AddRow(rowS...)
 		}
+		if withCtrl {
+			ctrlLostT.AddRow(rowCL...)
+			ctrlWaitT.AddRow(rowCW...)
+		}
 		if cvT != nil {
 			cvT.AddRow(rowC...)
 		}
@@ -485,6 +529,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	if withNetfault {
 		note += "; network faults enabled (see the netfault tables)"
 	}
+	if withCtrl {
+		note += "; control-plane faults enabled (see the control-plane tables)"
+	}
 	ratio.AddNote("%s", note)
 	for _, s := range skipped {
 		ratio.AddNote("skipped cell %s", s)
@@ -498,6 +545,9 @@ func runSweep(speeds, rhos []float64, names []string, factories []cluster.Policy
 	}
 	if withNetfault {
 		tables = append(tables, netT, resubT)
+	}
+	if withCtrl {
+		tables = append(tables, ctrlLostT, ctrlWaitT)
 	}
 	if cvT != nil {
 		tables = append(tables, cvT)

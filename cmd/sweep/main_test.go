@@ -67,7 +67,7 @@ func TestRunSweepSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil, nil, nil, nil, cli.ProbeParams{}, false)
+		5000, 2, 1, 1, nil, nil, nil, nil, nil, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestRunSweepWithFaults(t *testing.T) {
 	}
 	factories = append(factories, f)
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.3}, names, factories,
-		1e4, 2, 1, 1, fc, nil, nil, nil, nil, cli.ProbeParams{}, false)
+		1e4, 2, 1, 1, fc, nil, nil, nil, nil, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunSweepWithOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.8, 1.2}, names, factories,
-		1e4, 2, 1, 1, nil, ovCfg, nil, nil, nil, cli.ProbeParams{}, false)
+		1e4, 2, 1, 1, nil, ovCfg, nil, nil, nil, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRunSweepWithProbe(t *testing.T) {
 	}
 	pp := cli.ProbeParams{Probe: true, Events: dir}
 	tables, _, metrics, err := runSweep([]float64{1, 2}, []float64{0.5}, names, factories,
-		1e4, 1, 1, 1, nil, nil, nil, nil, nil, pp, false)
+		1e4, 1, 1, 1, nil, nil, nil, nil, nil, nil, pp, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestRunSweepSkipsBadCells(t *testing.T) {
 	names = append(names, "BAD")
 	factories = append(factories, func() cluster.Policy { return badInitPolicy{} })
 	tables, csvT, _, err := runSweep([]float64{1, 2}, []float64{0.4, 0.6}, names, factories,
-		5000, 2, 1, 1, nil, nil, nil, nil, nil, cli.ProbeParams{}, false)
+		5000, 2, 1, 1, nil, nil, nil, nil, nil, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatalf("sweep aborted on a bad cell: %v", err)
 	}
@@ -241,7 +241,7 @@ func TestRunSweepWithDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
-		1e4, 2, 1, 1, nil, nil, driftCfg, adaptCfg, nil, cli.ProbeParams{}, false)
+		1e4, 2, 1, 1, nil, nil, driftCfg, adaptCfg, nil, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRunSweepWithNetfault(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
-		1e4, 2, 1, 1, nil, nil, nil, nil, nfCfg, cli.ProbeParams{}, false)
+		1e4, 2, 1, 1, nil, nil, nil, nil, nfCfg, nil, cli.ProbeParams{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,5 +277,42 @@ func TestRunSweepWithNetfault(t *testing.T) {
 	}
 	if s := tables[4].String(); !strings.Contains(s, "resubmissions") {
 		t.Errorf("missing resubmission table:\n%s", s)
+	}
+}
+
+// TestRunSweepWithCtrl: a control-plane-enabled sweep grows the control
+// loss and query-wait tables; the query-wait cell is "-" for a policy
+// that issues no probes (static ORR) and numeric for one that does
+// (jsq(2) — and jiq too, whose empty-token fallback samples queues).
+func TestRunSweepWithCtrl(t *testing.T) {
+	ctrlCfg, err := cli.CtrlParams{Ctrl: "loss:0.2,lat:2,lease:300,qto:30"}.Build(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, factories, err := cli.ParsePolicies("ORR,jsq(2)", cli.PolicyOptions{Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, _, _, err := runSweep([]float64{1, 2}, []float64{0.4}, names, factories,
+		1e4, 2, 1, 1, nil, nil, nil, nil, nil, ctrlCfg, cli.ProbeParams{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d tables, want 5 (3 metrics + ctrl-lost + query wait)", len(tables))
+	}
+	lost := tables[3].String()
+	if !strings.Contains(lost, "control messages lost") {
+		t.Errorf("missing control-loss table:\n%s", lost)
+	}
+	wait := tables[4].String()
+	if !strings.Contains(wait, "query wait") {
+		t.Errorf("missing query-wait table:\n%s", wait)
+	}
+	// ORR (first policy column) never probes: its wait cell is "-";
+	// jsq(2) (last column) probes every decision: numeric.
+	cell := regexp.MustCompile(`(?m)^0\.4\s+-\s+\S+\s*$`)
+	if !cell.MatchString(wait) {
+		t.Errorf("query-wait row shape wrong (want ORR \"-\", jsq numeric):\n%s", wait)
 	}
 }

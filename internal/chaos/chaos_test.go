@@ -1,11 +1,13 @@
 package chaos
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
 
+	"heterosched/internal/cli"
 	"heterosched/internal/cluster"
 	"heterosched/internal/probe"
 )
@@ -160,6 +162,47 @@ func TestChaosSweep(t *testing.T) {
 				t.Errorf("  %s", v)
 			}
 		}
+	}
+}
+
+// TestChaosCtrlSweep is the control-plane chaos search: a seeded sweep
+// focused on the ctrl and net dimensions, so every scenario stresses
+// the token/query/sync message paths (often composed with dispatch-side
+// network faults), each checked against the full invariant registry —
+// including the token lease, token conservation and exactly-once
+// ledgers.
+func TestChaosCtrlSweep(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	cs, err := cli.ParseChaosSpec(fmt.Sprintf("seeds:%d,dims:net+ctrl,seed:9", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cs)
+	ctrlScenarios := 0
+	for k := 0; k < n; k++ {
+		spec := g.Spec(k)
+		if spec.Ctrl != "" {
+			ctrlScenarios++
+		}
+		rep, err := Execute(spec, Options{})
+		if err != nil {
+			t.Errorf("scenario %d failed to run: %v", k, err)
+			continue
+		}
+		if rep.Failed() {
+			t.Errorf("scenario %d violated invariants:\n  spec: %s", k, spec.String())
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+	}
+	// The sampler joins the ctrl layer with probability ~1/2; a sweep
+	// where almost none participated would be testing nothing.
+	if ctrlScenarios < n/4 {
+		t.Errorf("only %d of %d scenarios enabled the control plane", ctrlScenarios, n)
 	}
 }
 

@@ -71,7 +71,11 @@ func (g *Generator) Spec(k int) Spec {
 				avail = append(avail, i)
 			}
 		}
-		dims[avail[st.Intn(len(avail))]].pick = true
+		// A ctrl-only search (dims:ctrl) has no legacy dimension to
+		// force; the control-plane layer below always participates then.
+		if len(avail) > 0 {
+			dims[avail[st.Intn(len(avail))]].pick = true
+		}
 	}
 	faultsOn, overOn, driftOn, netOn := dims[0].pick, dims[1].pick, dims[2].pick, dims[3].pick
 
@@ -105,7 +109,72 @@ func (g *Generator) Spec(k int) Spec {
 	// Dispatch plane last, on its own derived substream so the fault-layer
 	// draws above are byte-for-byte what earlier searches sampled.
 	g.sampleDispatch(&s, rng.New(g.cs.Seed).DeriveIndexed("chaos.scenario.dispatch", k))
+	// Control plane after the dispatch plane (it biases the policy toward
+	// the state-querying family and needs to know the replica count),
+	// again on its own substream so ctrl-off searches replay untouched.
+	if g.cs.DimCtrl {
+		legacy := g.cs.DimFaults || g.cs.DimOverload || g.cs.DimDrift || g.cs.DimNet
+		g.sampleCtrl(&s, rng.New(g.cs.Seed).DeriveIndexed("chaos.scenario.ctrl", k), in, !legacy)
+	}
 	return s
+}
+
+// sampleCtrl draws the control-plane layer: loss/dup/latency on the
+// token/query/sync message paths, token leases, the per-decision query
+// timeout, and occasional computer-link or sync partitions. Because
+// control faults only matter to policies that exchange control traffic,
+// a participating scenario is biased toward the scalable state-querying
+// family. The query timeout is always set — the validator requires one
+// whenever control messages can vanish. always forces participation
+// (ctrl-only searches).
+func (g *Generator) sampleCtrl(s *Spec, st *rng.Stream, in float64, always bool) {
+	if !always && st.Float64() >= 0.5 {
+		return
+	}
+	// Bias the policy toward control-traffic users: jiq exercises the
+	// token path, jsq/pod the query path; sharded statics with sync
+	// exercise the frame path and are left as sampled.
+	if st.Float64() < 0.6 {
+		n := len(s.Speeds)
+		pool := []string{"jiq"}
+		for _, cand := range []struct {
+			name string
+			d    int
+		}{{"jsq(2)", 2}, {"pod(2):speed", 2}, {"pod(3):alpha", 3}} {
+			if cand.d <= n {
+				pool = append(pool, cand.name)
+			}
+		}
+		s.Policy = pool[st.Intn(len(pool))]
+	}
+	var items []string
+	items = append(items, "loss:"+fnum6(0.30*in*st.Float64()))
+	if st.Float64() < 0.5 {
+		items = append(items, "dup:"+fnum6(0.15*in*st.Float64()))
+	}
+	if st.Float64() < 0.8 {
+		items = append(items, "lat:"+fnum6(0.5+20*in*st.Float64()))
+	}
+	// Leases bound how long a lost or stale token can strand a computer;
+	// sampled often, but deliberately not always — lease-less token loss
+	// is a degradation the invariants must survive, not a config error.
+	if st.Float64() < 0.7 {
+		items = append(items, "lease:"+fnum6(s.Duration*(0.005+0.02*st.Float64())))
+	}
+	items = append(items, "qto:"+fnum6(10+90*st.Float64()))
+	if st.Float64() < 0.3 {
+		from := s.Duration * 0.6 * st.Float64()
+		to := from + s.Duration*(0.02+0.08*in*st.Float64())
+		items = append(items, fmt.Sprintf("part:%s:%s:%d", fnum6(from), fnum6(to), st.Intn(len(s.Speeds))))
+	}
+	if s.Dispatchers != "" && s.Sync != "" && st.Float64() < 0.4 {
+		if k, _, err := cli.ParseDispatchersSpec(s.Dispatchers); err == nil && k > 1 {
+			from := s.Duration * 0.6 * st.Float64()
+			to := from + s.Duration*(0.05+0.15*st.Float64())
+			items = append(items, fmt.Sprintf("dpart:%s:%s:%d", fnum6(from), fnum6(to), st.Intn(k)))
+		}
+	}
+	s.Ctrl = strings.Join(items, ",")
 }
 
 // sampleDispatch draws the dispatch plane: sometimes a non-default

@@ -34,6 +34,18 @@ const (
 	// terminal outcomes keep occurring within the stall horizon, and the
 	// in-system count stays under its ceiling.
 	InvProgress = "progress"
+	// InvTokenLease: no dispatch ever spends an expired idle token — a
+	// token-spend event at a time past its lease expiry is a bug in the
+	// lease bookkeeping, whatever the link faults did.
+	InvTokenLease = "token-lease"
+	// InvTokenConserve: the token ledger balances up to loss — every
+	// accepted token is eventually spent, expired, discarded, or still
+	// held at the end of the run.
+	InvTokenConserve = "token-conservation"
+	// InvCtrlDedup: exactly-once token installation under duplication —
+	// every delivered copy is either accepted or deduped, never both,
+	// never neither.
+	InvCtrlDedup = "ctrl-dedup"
 )
 
 // Invariant describes one registry entry.
@@ -52,6 +64,9 @@ func Registry() []Invariant {
 		{InvQueueCap, "bounded-queue occupancy never exceeds the configured capacity"},
 		{InvBreakerLegal, "breaker transitions follow closed → open → half-open → {open, closed}"},
 		{InvProgress, "terminal outcomes keep occurring while jobs are in the system; in-system stays bounded"},
+		{InvTokenLease, "no dispatch ever spends an idle token past its lease expiry"},
+		{InvTokenConserve, "accepted tokens = spent + expired + discarded + extant (conservation up to loss)"},
+		{InvCtrlDedup, "delivered token copies = accepted + deduped (exactly-once under duplication)"},
 	}
 }
 
@@ -123,6 +138,30 @@ func (bw *breakerWatch) Write(e *probe.Event) error {
 }
 
 func (bw *breakerWatch) Flush() error { return nil }
+
+// tokenWatch validates the token-lease invariant from EvTokenSpend
+// events: Value carries the token's lease expiry (0 = no lease), so a
+// spend strictly after its expiry means the dispatcher handed a job to
+// a computer whose idleness claim had lapsed. A tiny epsilon absorbs
+// the expiry-exactly-at-spend boundary the pop itself allows.
+type tokenWatch struct {
+	violations []Violation
+}
+
+func (tw *tokenWatch) Write(e *probe.Event) error {
+	if e.Kind != probe.EvTokenSpend {
+		return nil
+	}
+	if e.Value != 0 && e.T > e.Value*(1+1e-12) {
+		tw.violations = append(tw.violations, Violation{
+			Invariant: InvTokenLease,
+			Detail:    fmt.Sprintf("computer %d token spent at t=%.6g past its lease expiry %.6g", e.Target, e.T, e.Value),
+		})
+	}
+	return nil
+}
+
+func (tw *tokenWatch) Flush() error { return nil }
 
 // terminalWatch records the times of terminal lifecycle events for the
 // progress watchdog.

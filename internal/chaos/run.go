@@ -115,7 +115,8 @@ func Execute(spec Spec, opts Options) (*Report, error) {
 	verifier := probe.NewVerifier()
 	bw := newBreakerWatch()
 	tw := &terminalWatch{}
-	sinks := fanoutSink{verifier, bw, tw}
+	tok := &tokenWatch{}
+	sinks := fanoutSink{verifier, bw, tw, tok}
 	if opts.Events != nil {
 		sinks = append(sinks, opts.Events)
 	}
@@ -196,6 +197,20 @@ func Execute(spec Spec, opts Options) (*Report, error) {
 	}
 
 	rep.Violations = append(rep.Violations, bw.violations...)
+	rep.Violations = append(rep.Violations, tok.violations...)
+
+	// Control-plane ledgers: conservation up to loss and exactly-once
+	// under duplication, straight from the run's token counters.
+	if cs := res.Ctrl; cs != nil {
+		if held := cs.TokensSpent + cs.TokensExpired + cs.TokensDiscarded + cs.TokensExtant; held != cs.TokensAccepted {
+			rep.add(InvTokenConserve, "accepted %d tokens but spent %d + expired %d + discarded %d + extant %d = %d",
+				cs.TokensAccepted, cs.TokensSpent, cs.TokensExpired, cs.TokensDiscarded, cs.TokensExtant, held)
+		}
+		if cs.TokensDelivered != cs.TokensAccepted+cs.TokensDeduped {
+			rep.add(InvCtrlDedup, "delivered %d token copies but accepted %d + deduped %d",
+				cs.TokensDelivered, cs.TokensAccepted, cs.TokensDeduped)
+		}
+	}
 	rep.Violations = append(rep.Violations,
 		checkProgress(tw.times, res.InSystemSeries, sampleDT, spec.Duration, stall, spec.inSystemCeiling())...)
 	return rep, nil

@@ -112,6 +112,11 @@ func candidates(s Spec) []Spec {
 		c.Netfault, c.AckTO, c.DState = "", "", ""
 		add(c)
 	}
+	if s.Ctrl != "" {
+		c := s
+		c.Ctrl = ""
+		add(c)
+	}
 
 	// Clear individual overload knobs. Some combinations are invalid on
 	// their own (reject-when-full without a queue cap) — Build rejects
@@ -145,6 +150,13 @@ func candidates(s Spec) []Spec {
 	for _, items := range dropEach(s.Netfault) {
 		c := s
 		c.Netfault = items
+		add(c)
+	}
+	// Some ctrl item subsets are invalid on their own (loss without
+	// qto) — Build rejects them and the shrinker skips on.
+	for _, items := range dropEach(s.Ctrl) {
+		c := s
+		c.Ctrl = items
 		add(c)
 	}
 

@@ -66,6 +66,11 @@ type Spec struct {
 	// Network-fault layer (cli.NetfaultParams grammar).
 	Netfault, AckTO, DState string
 
+	// Control-plane layer (cli.CtrlParams grammar): faults on the
+	// token/query/sync message paths of the scalable policies and the
+	// sharded counter-sync.
+	Ctrl string
+
 	// Watchdog bounds, serialized so a reproducer is self-contained.
 	// Stall 0 and MaxInSystem 0 pick defaults at Execute time.
 	Stall       float64
@@ -144,6 +149,9 @@ func (s Spec) String() string {
 	}
 	if s.DState != "" {
 		add("dstate", s.DState)
+	}
+	if s.Ctrl != "" {
+		add("ctrl", s.Ctrl)
 	}
 	if s.Stall > 0 {
 		add("stall", fnum(s.Stall))
@@ -257,6 +265,8 @@ func ParseSpec(s string) (Spec, error) {
 			sp.AckTO = val
 		case "dstate":
 			sp.DState = val
+		case "ctrl":
+			sp.Ctrl = val
 		case "stall":
 			if sp.Stall, err = num("stall horizon"); err != nil {
 				return sp, err
@@ -293,6 +303,9 @@ func (s Spec) Layers() []string {
 	}
 	if s.Netfault != "" || s.AckTO != "" || s.DState != "" {
 		l = append(l, "netfault")
+	}
+	if s.Ctrl != "" {
+		l = append(l, "ctrl")
 	}
 	return l
 }
@@ -356,6 +369,14 @@ func (s Spec) Build() (cluster.Config, cluster.PolicyFactory, error) {
 	if err != nil {
 		return cfg, nil, err
 	}
+	replicas := sharding.Dispatchers
+	if replicas < 1 {
+		replicas = 1
+	}
+	cc, err := cli.CtrlParams{Ctrl: s.Ctrl}.Build(len(speeds), replicas)
+	if err != nil {
+		return cfg, nil, err
+	}
 
 	drain := true
 	cfg = cluster.Config{
@@ -369,6 +390,7 @@ func (s Spec) Build() (cluster.Config, cluster.PolicyFactory, error) {
 		Overload:       oc,
 		Drift:          dc,
 		Netfault:       nc,
+		Ctrl:           cc,
 	}
 	return cfg, pf, nil
 }

@@ -32,9 +32,10 @@ type ChaosSearch struct {
 	// Intensity in (0, 1] scales every sampled fault parameter from
 	// mild toward the configured maxima (intensity:X, default 0.5).
 	Intensity float64
-	// DimFaults/DimOverload/DimDrift/DimNet gate the four fault layers
-	// the sampler may compose (dims:fail+over+drift+net, default all).
-	DimFaults, DimOverload, DimDrift, DimNet bool
+	// DimFaults/DimOverload/DimDrift/DimNet/DimCtrl gate the fault
+	// layers the sampler may compose (dims:fail+over+drift+net+ctrl,
+	// default all).
+	DimFaults, DimOverload, DimDrift, DimNet, DimCtrl bool
 	// Duration is the per-scenario horizon in simulated seconds
 	// (dur:T, default 2e4).
 	Duration float64
@@ -77,7 +78,7 @@ func ParseChaosSpec(s string) (*ChaosSearch, error) {
 	cs := &ChaosSearch{
 		Scenarios: 50,
 		Intensity: 0.5,
-		DimFaults: true, DimOverload: true, DimDrift: true, DimNet: true,
+		DimFaults: true, DimOverload: true, DimDrift: true, DimNet: true, DimCtrl: true,
 		Duration: 2e4,
 		Speeds:   []float64{1, 1, 2, 10},
 		Seed:     1,
@@ -125,7 +126,7 @@ func ParseChaosSpec(s string) (*ChaosSearch, error) {
 			}
 			cs.Intensity = v
 		case "dims":
-			cs.DimFaults, cs.DimOverload, cs.DimDrift, cs.DimNet = false, false, false, false
+			cs.DimFaults, cs.DimOverload, cs.DimDrift, cs.DimNet, cs.DimCtrl = false, false, false, false, false
 			for _, d := range strings.Split(rest, "+") {
 				switch strings.TrimSpace(d) {
 				case "fail":
@@ -136,14 +137,16 @@ func ParseChaosSpec(s string) (*ChaosSearch, error) {
 					cs.DimDrift = true
 				case "net":
 					cs.DimNet = true
+				case "ctrl":
+					cs.DimCtrl = true
 				case "":
 					continue
 				default:
-					return nil, fmt.Errorf("unknown chaos dimension %q (want fail, over, drift or net)", strings.TrimSpace(d))
+					return nil, fmt.Errorf("unknown chaos dimension %q (want fail, over, drift, net or ctrl)", strings.TrimSpace(d))
 				}
 			}
-			if !cs.DimFaults && !cs.DimOverload && !cs.DimDrift && !cs.DimNet {
-				return nil, fmt.Errorf("empty dims %q (want at least one of fail, over, drift, net)", item)
+			if !cs.DimFaults && !cs.DimOverload && !cs.DimDrift && !cs.DimNet && !cs.DimCtrl {
+				return nil, fmt.Errorf("empty dims %q (want at least one of fail, over, drift, net, ctrl)", item)
 			}
 		case "dur":
 			v, err := num("duration")
@@ -194,7 +197,7 @@ func ParseChaosSpec(s string) (*ChaosSearch, error) {
 			}
 			cs.MaxInSystem = n
 		default:
-			return nil, fmt.Errorf("unknown chaos item %q (want seeds:N, intensity:X, dims:fail+over+drift+net, dur:T, rho:R, speeds:S1+S2+..., seed:S, stall:T or insys:N)", kind)
+			return nil, fmt.Errorf("unknown chaos item %q (want seeds:N, intensity:X, dims:fail+over+drift+net+ctrl, dur:T, rho:R, speeds:S1+S2+..., seed:S, stall:T or insys:N)", kind)
 		}
 	}
 	if cs.Stall > 0 && cs.Stall > cs.Duration {

@@ -197,7 +197,7 @@ func ParsePolicy(name string, opts PolicyOptions) (cluster.PolicyFactory, error)
 		}
 		return mk, nil
 	}
-	if f, ok, err := parseScalablePolicy(name, scalable); ok || err != nil {
+	if f, ok, err := parseScalablePolicy(name, opts, scalable); ok || err != nil {
 		return f, err
 	}
 	upper := strings.ToUpper(strings.TrimSpace(name))
@@ -251,7 +251,7 @@ func ParsePolicy(name string, opts PolicyOptions) (cluster.PolicyFactory, error)
 // jsq(d), pod(d), pod(d):speed, pod(d):alpha and jiq, case-insensitive.
 // ok reports whether the name belongs to this family at all; a
 // malformed member (e.g. "jsq(0)") is ok with a non-nil error.
-func parseScalablePolicy(name string, wrap func(mk func() *sched.Scalable) cluster.PolicyFactory) (cluster.PolicyFactory, bool, error) {
+func parseScalablePolicy(name string, opts PolicyOptions, wrap func(mk func() *sched.Scalable) cluster.PolicyFactory) (cluster.PolicyFactory, bool, error) {
 	lower := strings.ToLower(strings.TrimSpace(name))
 	if lower == "jiq" {
 		return wrap(sched.JIQ), true, nil
@@ -269,6 +269,11 @@ func parseScalablePolicy(name string, wrap func(mk func() *sched.Scalable) clust
 		}
 		if d < 1 || d > dispatch.MaxSampleWidth {
 			return 0, "", true, fmt.Errorf("policy %q: sample width must be in [1, %d]", name, dispatch.MaxSampleWidth)
+		}
+		// Sampling more computers than exist would silently clamp to JSQ
+		// over the whole fleet — reject the typo instead of masking it.
+		if opts.Computers > 0 && d > opts.Computers {
+			return 0, "", true, fmt.Errorf("policy %q: sample width %d exceeds the fleet size %d", name, d, opts.Computers)
 		}
 		return d, variant, true, nil
 	}

@@ -169,6 +169,8 @@ func FuzzChaosSpecs(f *testing.F) {
 	f.Add("seeds:200")
 	f.Add("seeds:50,intensity:1,dims:fail+over+drift+net,dur:20000,rho:0.7,speeds:1+1+2+10,seed:7")
 	f.Add("dims:net,stall:5000,insys:100000")
+	f.Add("dims:ctrl,seeds:5")
+	f.Add("dims:net+ctrl,intensity:0.8")
 	f.Add("")
 	f.Add("seeds:0,intensity:0,dims:,dur:-1")
 	f.Add("seeds:,intensity:,rho:nan,speeds:,seed:")
@@ -197,7 +199,7 @@ func FuzzChaosSpecs(f *testing.F) {
 		if !(cs.Duration > 0) || math.IsInf(cs.Duration, 0) {
 			t.Fatalf("accepted duration %v for %q", cs.Duration, spec)
 		}
-		if !cs.DimFaults && !cs.DimOverload && !cs.DimDrift && !cs.DimNet {
+		if !cs.DimFaults && !cs.DimOverload && !cs.DimDrift && !cs.DimNet && !cs.DimCtrl {
 			t.Fatalf("accepted spec %q with no dimensions", spec)
 		}
 		if cs.Rho < 0 || cs.Rho > MaxRho || math.IsNaN(cs.Rho) {
@@ -232,6 +234,8 @@ func FuzzShardingSpecs(f *testing.F) {
 	f.Add("4:mod", "nan", "jsq(0)")
 	f.Add("99999999999999999999", "inf", "pod(2):fast")
 	f.Add(":", ":", "jsq(")
+	f.Add("4:hash", "0.0", "jsq(9)")   // "0" sync and d > fleet are rejections now
+	f.Add("2", "never", "pod(12),jiq") // sample width beyond the 8-computer fleet
 	f.Fuzz(func(t *testing.T, dispatchers, sync, policies string) {
 		p, err := ParseShardingSpecs(dispatchers, sync)
 		if err != nil {
@@ -252,6 +256,40 @@ func FuzzShardingSpecs(f *testing.F) {
 		opts := PolicyOptions{Computers: 8, Sharding: p}
 		if _, _, perr := ParsePolicies(policies, opts); perr != nil && perr.Error() == "" {
 			t.Fatal("empty error message from ParsePolicies under sharding")
+		}
+	})
+}
+
+// FuzzCtrlSpecs throws arbitrary strings at the control-plane flag
+// grammar (-ctrl). The contract matches the other fuzzers: Build never
+// panics, every rejection carries a message, and anything accepted
+// passes ctrlplane.Config.Validate for the given cluster and replica
+// counts and is actually enabled (never a non-nil inert config).
+func FuzzCtrlSpecs(f *testing.F) {
+	f.Add("loss:0.1,lat:5,lease:200,qto:50", 4, 1)
+	f.Add("lat:2:0,dup:0.05,part:1000:2000:0+1,dpart:500:1500:1", 4, 4)
+	f.Add("lease:100", 8, 2)
+	f.Add("", 1, 1)
+	f.Add("loss:1", 3, 1)
+	f.Add("loss::,lease:,qto:", 0, 0)
+	f.Add("lat:inf:9999999999,dup:nan,lease:-1,qto:0", -1, -1)
+	f.Add("part:0:0,dpart:5:1", 2, 2)
+	f.Fuzz(func(t *testing.T, spec string, computers, dispatchers int) {
+		cfg, err := CtrlParams{Ctrl: spec}.Build(computers, dispatchers)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message from CtrlParams.Build")
+			}
+			return
+		}
+		if cfg == nil {
+			return // no control plane
+		}
+		if !cfg.Enabled() {
+			t.Fatalf("Build returned a disabled ctrl config for %q (want nil)", spec)
+		}
+		if verr := cfg.Validate(computers, dispatchers); verr != nil {
+			t.Fatalf("Build accepted %q but Validate rejects: %v", spec, verr)
 		}
 	})
 }

@@ -108,7 +108,13 @@ func TestSpecParsersConsistency(t *testing.T) {
 			name:  "sync",
 			parse: func(s string) error { _, err := ParseSyncSpec(s); return err },
 			valid: "25",
-			bad:   []string{"nan", "inf", "-5", "often"},
+			bad:   []string{"nan", "inf", "-5", "often", "0"},
+		},
+		{
+			name:  "ctrl",
+			parse: func(s string) error { _, err := ParseCtrlSpec(s); return err },
+			valid: "loss:0.1,lat:5,lease:200,qto:50",
+			bad:   []string{"loss:nan", "lat:inf", "loss:-0.1", "lease:-5", "qto:nan", "lease:0"},
 		},
 	}
 

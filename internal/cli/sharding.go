@@ -71,9 +71,10 @@ func ParseDispatchersSpec(s string) (int, dispatch.ShardBy, error) {
 	return k, by, nil
 }
 
-// ParseSyncSpec parses the counter-sync period: "never" (or empty, or
-// "0") disables it, any positive number is a period in simulated
-// seconds.
+// ParseSyncSpec parses the counter-sync period: "never" (or empty)
+// disables it, any positive number is a period in simulated seconds.
+// A numeric zero is rejected — a user who types a number wants syncing,
+// and a period of 0 would silently mean "never" (say "never" for that).
 func ParseSyncSpec(s string) (float64, error) {
 	spec := strings.ToLower(strings.TrimSpace(s))
 	if spec == "" || spec == "never" {
@@ -84,7 +85,10 @@ func ParseSyncSpec(s string) (float64, error) {
 		return 0, fmt.Errorf("-sync %q: want \"never\" or a period in seconds", s)
 	}
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-		return 0, fmt.Errorf("-sync %q: period must be a non-negative number of seconds", s)
+		return 0, fmt.Errorf("-sync %q: period must be a positive number of seconds", s)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("-sync %q: sync period of 0 is ambiguous; use \"never\" to disable counter-sync", s)
 	}
 	return v, nil
 }

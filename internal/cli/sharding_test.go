@@ -46,14 +46,16 @@ func TestParseDispatchersSpec(t *testing.T) {
 
 func TestParseSyncSpec(t *testing.T) {
 	for spec, want := range map[string]float64{
-		"": 0, "never": 0, "NEVER": 0, "0": 0, "25": 25, " 1e3 ": 1000,
+		"": 0, "never": 0, "NEVER": 0, "25": 25, " 1e3 ": 1000,
 	} {
 		got, err := ParseSyncSpec(spec)
 		if err != nil || got != want {
 			t.Errorf("ParseSyncSpec(%q) = %v, %v; want %v", spec, got, err, want)
 		}
 	}
-	for _, bad := range []string{"nan", "inf", "-5", "often", "1h"} {
+	// A numeric 0 is ambiguous (it used to silently mean "never") and is
+	// rejected with a pointer to the explicit spelling.
+	for _, bad := range []string{"nan", "inf", "-5", "often", "1h", "0", "0.0"} {
 		if _, err := ParseSyncSpec(bad); err == nil {
 			t.Errorf("ParseSyncSpec(%q) accepted, want rejection", bad)
 		}
@@ -149,7 +151,9 @@ func TestParseScalableMnemonics(t *testing.T) {
 			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", spec, got, want)
 		}
 	}
-	for _, bad := range []string{"jsq(0)", "jsq(65)", "jsq()", "jsq(2", "jsq(2):speed", "pod(x)", "pod(2):fast", "jiq(2)"} {
+	// jsq(9) and pod(12) exceed the 8-computer fleet: sampling more
+	// computers than exist is a typo, not a policy.
+	for _, bad := range []string{"jsq(0)", "jsq(65)", "jsq()", "jsq(2", "jsq(2):speed", "pod(x)", "pod(2):fast", "jiq(2)", "jsq(9)", "pod(12)"} {
 		if _, err := ParsePolicy(bad, opts); err == nil {
 			t.Errorf("ParsePolicy(%q) accepted, want rejection", bad)
 		} else if strings.TrimSpace(err.Error()) == "" {

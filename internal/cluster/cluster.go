@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"heterosched/internal/ctrlplane"
 	"heterosched/internal/dist"
 	"heterosched/internal/drift"
 	"heterosched/internal/faults"
@@ -173,6 +174,16 @@ type Config struct {
 	// run is bit-identical to a build without the subsystem: no extra
 	// random stream is derived and no extra events are scheduled.
 	Netfault *netfault.Config
+	// Ctrl, when non-nil and enabled, makes the control plane physical:
+	// JIQ idle-token reports, jsq/pod(d) queue-length queries and
+	// inter-dispatcher counter-sync frames travel over faulty links
+	// (latency, loss, duplication, partitions), so state-querying
+	// policies act on stale, lossy views and pay query round-trips in
+	// dispatch latency (see internal/ctrlplane). With Ctrl nil or
+	// disabled the run is bit-identical to a build without the
+	// subsystem: no extra random stream is derived, no extra events are
+	// scheduled, and the policies read the oracle StateView.
+	Ctrl *ctrlplane.Config
 }
 
 // ReplayJob is one recorded arrival for trace-driven simulation.
@@ -270,6 +281,12 @@ func (c Config) validate() error {
 	if err := c.Netfault.Validate(len(c.Speeds)); err != nil {
 		return err
 	}
+	// The replica count is policy state the config cannot see; replica-
+	// indexed sync partitions are range-checked by the CLI, which knows
+	// -dispatchers.
+	if err := c.Ctrl.Validate(len(c.Speeds), 0); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -339,9 +356,17 @@ type FaultAware interface {
 // policy that never queries costs nothing: the stateless policies keep
 // their zero-query path untouched.
 type StateView interface {
-	// QueueLen returns the number of jobs currently at computer i
-	// (queued plus in service).
+	// QueueLen returns the number of jobs at computer i (queued plus in
+	// service) as the policy can best observe it. With the control
+	// plane enabled this is a probe over a faulty link: the value may
+	// be a stale cached observation or a pessimistic placeholder.
 	QueueLen(i int) int
+	// Age returns the age in seconds of the observation the last
+	// QueueLen(i) was served from: 0 for a live read (the oracle view,
+	// or an in-time probe), positive for a cached fallback, +Inf for a
+	// computer never observed. A StateView is a snapshot with an age,
+	// not an oracle.
+	Age(i int) float64
 	// N returns the number of computers.
 	N() int
 }
@@ -351,6 +376,39 @@ type StateView interface {
 // exist — after Init, before the first arrival.
 type StateAware interface {
 	BindState(view StateView)
+}
+
+// CtrlAware is implemented by policies that can route their control
+// traffic (idle tokens, state queries, counter-sync frames) through the
+// physical control plane. The run calls BindCtrl — after Init, before
+// BindState — only when Config.Ctrl is enabled; a policy that never
+// receives it keeps the oracle state path.
+type CtrlAware interface {
+	BindCtrl(p *ctrlplane.Plane)
+}
+
+// DecisionCost is implemented by policies whose Select may wait on
+// control-plane round-trips. TakeDecisionCost returns the wait in
+// seconds accumulated by the most recent Select and resets it; the run
+// delays the job's departure from the dispatcher by that much.
+type DecisionCost interface {
+	TakeDecisionCost() float64
+}
+
+// ctrlEventKind maps a control-plane message event to its probe kind.
+func ctrlEventKind(kind ctrlplane.MsgEvent) probe.EventKind {
+	switch kind {
+	case ctrlplane.MsgTokenReport:
+		return probe.EvTokenReport
+	case ctrlplane.MsgTokenSpend:
+		return probe.EvTokenSpend
+	case ctrlplane.MsgTokenExpire:
+		return probe.EvTokenExpire
+	case ctrlplane.MsgQueryTimeout:
+		return probe.EvQueryTimeout
+	default:
+		return probe.EvSyncFrame
+	}
 }
 
 // ShardedPolicy is implemented by policies that route arrivals through
@@ -367,6 +425,7 @@ type ShardedPolicy interface {
 type serverStateView []sim.Server
 
 func (v serverStateView) QueueLen(i int) int { return v[i].InService() }
+func (v serverStateView) Age(int) float64    { return 0 }
 func (v serverStateView) N() int             { return len(v) }
 
 // Result aggregates one run's statistics over the post-warm-up jobs.
@@ -424,6 +483,9 @@ type Result struct {
 	// Netfault holds the network/control-plane fault counters; nil
 	// unless Config.Netfault was enabled.
 	Netfault *NetfaultStats
+	// Ctrl holds the control-plane message ledger (token, query and
+	// sync counters); nil unless Config.Ctrl was enabled.
+	Ctrl *ctrlplane.Stats
 
 	// The remaining fields are populated only when Config.Faults enabled
 	// failure injection (Availability is nil otherwise).
@@ -615,6 +677,25 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// Physical control plane. Same gating discipline: a disabled config
+	// derives no "ctrl.*" substreams and the policies keep the oracle
+	// StateView, so ctrl-off runs stay bit-identical. The plane is bound
+	// to the policy and the servers below, once both exist.
+	var plane *ctrlplane.Plane
+	if cfg.Ctrl.Enabled() {
+		plane = ctrlplane.NewPlane(en, cfg.Ctrl, n, root, cfg.Duration)
+		if pb != nil {
+			pb.StartCtrl(0)
+			plane.SetHooks(ctrlplane.Hooks{
+				Event: func(t float64, kind ctrlplane.MsgEvent, target int, cause string, value float64) {
+					pb.Emit(probe.Event{T: t, Kind: ctrlEventKind(kind), Target: target, Cause: cause, Value: value})
+				},
+				InFlight:  pb.SetCtrlInFlight,
+				Staleness: pb.NoteCtrlStaleness,
+			})
+		}
+	}
+
 	var respTime, respRatio stats.Accumulator
 	var respTimeDeg, respRatioDeg stats.Accumulator
 	// Response ratios range from 1/maxSpeed (an undisturbed job on the
@@ -781,6 +862,16 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 		}
 	}
 
+	// Bind the control plane before the state view: a CtrlAware policy
+	// re-routes its token traffic and replaces its replicas' oracle
+	// views with the plane's probing views during BindState. The plane
+	// answers probes that physically arrive from the live servers.
+	if plane != nil {
+		plane.BindSource(serverStateView(servers))
+		if ca, ok := policy.(CtrlAware); ok {
+			ca.BindCtrl(plane)
+		}
+	}
 	// Bind the queue-state view for state-aware policies (the scalable-
 	// dispatch family). This must happen after the servers exist and
 	// before the first arrival; Init runs too early. Stateless policies
@@ -1015,6 +1106,34 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	if nf != nil {
 		nf.deliver = deliverTo
 		sendTo = func(target int, j *sim.Job) { nf.send(target, j, true) }
+	}
+	if plane != nil {
+		// Query round-trips cost real time: the decision the policy just
+		// made waited for its probes (or their timeout), so the job
+		// leaves the dispatcher that much later. Installed before the
+		// spans wrapper (which ends up outermost), so SpanSend stamps
+		// the pre-wait time and the wait lands in the span's network
+		// component.
+		if dc, ok := policy.(DecisionCost); ok {
+			inner := sendTo
+			sendTo = func(target int, j *sim.Job) {
+				if d := dc.TakeDecisionCost(); d > 0 {
+					// The job is held across simulated time, where a
+					// deadline or timeout can reach a terminal outcome
+					// first and recycle it — hold a generation-checked
+					// handle and let a dead one drop the delivery (the
+					// job already finished; there is nothing to deliver).
+					ref := arena.Ref(j)
+					en.ScheduleAfter(d, func() {
+						if jj, ok := ref.Load(); ok && !jj.Finalized {
+							inner(target, jj)
+						}
+					})
+					return
+				}
+				inner(target, j)
+			}
+		}
 	}
 	if spansOn {
 		// Every dispatch path — first dispatch, overload retry, failure
@@ -1374,6 +1493,9 @@ func Run(cfg Config, policy Policy) (*Result, error) {
 	}
 	if nf != nil {
 		res.Netfault = nf.finish()
+	}
+	if plane != nil {
+		res.Ctrl = plane.Finish()
 	}
 	if inj != nil {
 		inj.Finish(endTime)

@@ -385,6 +385,17 @@ type JIQ struct {
 	head     int
 	has      []bool
 	up       []bool
+
+	// Lease support (control-plane mode). All nil/zero when unused, so
+	// the lease-free path is byte-for-byte the PR 9 behavior: expiry is
+	// allocated on the first leased token, now is the injected clock
+	// without which expiries are never checked, and the hooks observe
+	// token outcomes at pop time.
+	expiry    []float64 // per-computer lease expiry; 0 = no lease
+	now       func() float64
+	onSpend   func(i int, expiry float64)
+	onExpire  func(i int, expiry float64)
+	onDiscard func(i int)
 }
 
 // NewJIQ returns a JIQ dispatcher over n computers with the given
@@ -419,12 +430,47 @@ func (q *JIQ) Fallback() Dispatcher { return q.fallback }
 
 // ReportIdle records an idle token for computer i. A computer holds at
 // most one token; re-reports while a token is outstanding are no-ops.
-func (q *JIQ) ReportIdle(i int) {
-	if i < 0 || i >= q.n || q.has[i] {
-		return
+func (q *JIQ) ReportIdle(i int) { q.ReportIdleLease(i, 0) }
+
+// ReportIdleLease records an idle token for computer i with a lease
+// expiry (0 = no lease; the token never expires). It reports whether a
+// new token was installed: a re-report while a token is outstanding is
+// deduplicated — it only refreshes the outstanding token's lease — and
+// returns false. This is the idempotent-delivery hook the control plane
+// relies on under message duplication.
+func (q *JIQ) ReportIdleLease(i int, expiry float64) bool {
+	if i < 0 || i >= q.n {
+		return false
+	}
+	if q.has[i] {
+		if q.expiry != nil {
+			q.expiry[i] = expiry
+		}
+		return false
 	}
 	q.has[i] = true
 	q.tokens = append(q.tokens, i)
+	if expiry != 0 && q.expiry == nil {
+		q.expiry = make([]float64, q.n)
+	}
+	if q.expiry != nil {
+		q.expiry[i] = expiry
+	}
+	return true
+}
+
+// SetClock injects the simulation clock used to check token leases at
+// pop time. Without a clock, leases are never enforced.
+func (q *JIQ) SetClock(now func() float64) { q.now = now }
+
+// SetTokenHooks installs pop-time outcome observers: spend (token used
+// for a dispatch, with its lease expiry), expire (dropped past its
+// lease), discard (dropped because the holder was down). Any may be
+// nil.
+func (q *JIQ) SetTokenHooks(onSpend, onExpire func(i int, expiry float64), onDiscard func(i int)) {
+	q.onSpend = onSpend
+	q.onExpire = onExpire
+	q.onDiscard = onDiscard
 }
 
 // IdleTokens returns the number of outstanding idle tokens.
@@ -436,21 +482,13 @@ func (q *JIQ) HasToken(i int) bool { return q.has[i] }
 func (q *JIQ) isUp(i int) bool { return q.up == nil || q.up[i] }
 
 // SetUp installs the availability mask. Tokens held by down computers
-// are discarded at pop time; a repaired computer that the view shows
-// idle is re-issued a token, since its own idle report happened while it
-// was unreachable.
+// are discarded at pop time; re-issuing a token to a repaired idle
+// computer is the policy layer's job (sched.Scalable.UpSetChanged),
+// which sees the whole replica set and can place exactly one token —
+// doing it here issued one duplicate per replica and missed the
+// repair-to-all-up transition entirely, where the mask arrives as nil.
 func (q *JIQ) SetUp(up []bool) error {
-	if err := q.setUpMask(up); err != nil {
-		return err
-	}
-	if up != nil && q.view != nil {
-		for i, u := range up {
-			if u && !q.has[i] && q.view.QueueLen(i) == 0 {
-				q.ReportIdle(i)
-			}
-		}
-	}
-	return nil
+	return q.setUpMask(up)
 }
 
 func (q *JIQ) setUpMask(up []bool) error {
@@ -486,9 +524,27 @@ func (q *JIQ) Next() int {
 			q.tokens = append(q.tokens[:0], q.tokens[q.head:]...)
 			q.head = 0
 		}
-		if q.isUp(i) {
-			return i
+		exp := 0.0
+		if q.expiry != nil {
+			exp = q.expiry[i]
+			q.expiry[i] = 0
 		}
+		if !q.isUp(i) {
+			if q.onDiscard != nil {
+				q.onDiscard(i)
+			}
+			continue
+		}
+		if exp > 0 && q.now != nil && exp <= q.now() {
+			if q.onExpire != nil {
+				q.onExpire(i, exp)
+			}
+			continue
+		}
+		if q.onSpend != nil {
+			q.onSpend(i, exp)
+		}
+		return i
 	}
 	return q.fallback.Next()
 }

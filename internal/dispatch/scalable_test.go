@@ -255,10 +255,12 @@ func TestJIQDispatchesToIdleToken(t *testing.T) {
 	}
 }
 
-// TestJIQMaskDiscardsAndReissuesTokens verifies down computers' tokens
-// are discarded at pop time and a repaired idle computer is re-issued a
-// token from the view.
-func TestJIQMaskDiscardsAndReissuesTokens(t *testing.T) {
+// TestJIQMaskDiscardsTokens verifies down computers' tokens are
+// discarded at pop time and that SetUp itself issues no tokens —
+// repair re-issue is the policy layer's job (one token per fleet, not
+// one per replica), covered by TestScalableJIQRepairReissue in
+// internal/sched.
+func TestJIQMaskDiscardsTokens(t *testing.T) {
 	const n = 3
 	fb, err := NewBiasedPowerOfD([]float64{1, 1, 1}, 2, "speed", rng.New(81).Derive("pod"))
 	if err != nil {
@@ -282,16 +284,74 @@ func TestJIQMaskDiscardsAndReissuesTokens(t *testing.T) {
 	if err := q.SetUp(make([]bool, n)); !errors.Is(err, ErrNoComputerUp) {
 		t.Errorf("SetUp(all-down) = %v, want ErrNoComputerUp", err)
 	}
-	// Repair: computer 0 is idle per the view, so the mask change
-	// re-issues its token.
+	// Repair: the mask change alone must NOT conjure tokens — each
+	// replica doing so independently would duplicate them fleet-wide.
 	if err := q.SetUp([]bool{true, true, true}); err != nil {
 		t.Fatal(err)
 	}
-	if !q.HasToken(0) {
-		t.Error("repaired idle computer 0 not re-issued a token")
+	if q.HasToken(0) {
+		t.Error("SetUp issued a token; re-issue belongs to the policy layer")
 	}
+	// The policy layer re-issues explicitly.
+	q.ReportIdle(0)
 	if got := q.Next(); got != 0 {
 		t.Errorf("dispatch after repair = %d, want 0", got)
+	}
+}
+
+// TestJIQLeases exercises lease expiry, dedup refresh, and the pop-time
+// outcome hooks.
+func TestJIQLeases(t *testing.T) {
+	const n = 3
+	fb, err := NewBiasedPowerOfD([]float64{1, 1, 1}, 2, "speed", rng.New(17).Derive("pod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewJIQ(n, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Bind(fakeView{4, 4, 4})
+	now := 0.0
+	q.SetClock(func() float64 { return now })
+	var spent, expired []int
+	q.SetTokenHooks(
+		func(i int, expiry float64) { spent = append(spent, i) },
+		func(i int, expiry float64) { expired = append(expired, i) },
+		nil,
+	)
+
+	if !q.ReportIdleLease(0, 10) {
+		t.Fatal("first report must install a token")
+	}
+	if q.ReportIdleLease(0, 20) {
+		t.Fatal("duplicate report must dedup")
+	}
+	if !q.ReportIdleLease(1, 5) {
+		t.Fatal("report for a second computer must install")
+	}
+
+	// Computer 1's lease (5) is expired at t=7; computer 0's was
+	// refreshed to 20 by the dedup, so it survives.
+	now = 7
+	if got := q.Next(); got != 0 {
+		t.Fatalf("Next = %d, want 0 (token 1 expired... order is FIFO: 0 first anyway)", got)
+	}
+	if got := q.Next(); got < 0 || got >= n || q.IdleTokens() != 0 {
+		t.Fatalf("second pop = %d tokens=%d; token 1 must have expired to fallback", got, q.IdleTokens())
+	}
+	if len(spent) != 1 || spent[0] != 0 {
+		t.Fatalf("spent = %v, want [0]", spent)
+	}
+	if len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired = %v, want [1]", expired)
+	}
+
+	// An unexpired lease dispatches normally; a zero lease never expires.
+	q.ReportIdleLease(2, 0)
+	now = 1e9
+	if got := q.Next(); got != 2 {
+		t.Fatalf("zero-lease token = %d, want 2", got)
 	}
 }
 

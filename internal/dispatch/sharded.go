@@ -230,6 +230,42 @@ func (s *Sharded) SyncNow() int {
 	return len(parts)
 }
 
+// SyncShareOf returns a copy of replica k's counters when it
+// participates in counter sync, or ok=false for non-Syncer replicas.
+// This is the frame payload for the physical gossip path, where
+// replicas exchange state pairwise over faulty links instead of through
+// SyncNow's instantaneous all-replica barrier.
+func (s *Sharded) SyncShareOf(k int) (assign []int64, next []float64, ok bool) {
+	sy, is := s.replicas[k].(Syncer)
+	if !is {
+		return nil, nil, false
+	}
+	a, nx := sy.SyncShare()
+	return a, nx, true
+}
+
+// SyncBlend merges a peer's counters into replica k by element-wise
+// mean of the replica's current counters and the frame — the pairwise
+// form of SyncNow's all-replica mean. Non-Syncer replicas and
+// mismatched frame lengths are ignored.
+func (s *Sharded) SyncBlend(k int, assign []int64, next []float64) {
+	sy, is := s.replicas[k].(Syncer)
+	if !is {
+		return
+	}
+	a, nx := sy.SyncShare()
+	if len(assign) != len(a) || len(next) != len(nx) {
+		return
+	}
+	for i := range a {
+		a[i] = int64((float64(a[i]) + float64(assign[i])) / 2)
+	}
+	for i := range nx {
+		nx[i] = (nx[i] + next[i]) / 2
+	}
+	sy.SyncApply(a, nx)
+}
+
 var (
 	_ Dispatcher = (*Sharded)(nil)
 	_ Masked     = (*Sharded)(nil)

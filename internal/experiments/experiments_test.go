@@ -267,7 +267,7 @@ func TestFigure6Shapes(t *testing.T) {
 
 func TestRegistryAndNames(t *testing.T) {
 	names := Names()
-	want := []string{"ext-baselines", "ext-capped", "ext-chaos", "ext-cv", "ext-dispatch", "ext-diurnal", "ext-drift", "ext-faults", "ext-netfaults", "ext-overload", "ext-quantum", "ext-sharding", "ext-sita", "ext-tracepath", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2", "validate"}
+	want := []string{"ext-baselines", "ext-capped", "ext-chaos", "ext-control", "ext-cv", "ext-dispatch", "ext-diurnal", "ext-drift", "ext-faults", "ext-netfaults", "ext-overload", "ext-quantum", "ext-sharding", "ext-sita", "ext-tracepath", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2", "validate"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -143,6 +143,13 @@ var Registry = map[string]Runner{
 		}
 		return &Output{Tables: r.Render()}, nil
 	},
+	"ext-control": func(o Options) (*Output, error) {
+		r, err := ExtControl(o)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Tables: r.Render()}, nil
+	},
 }
 
 // sweepRunner adapts a sweep experiment to the Runner signature.

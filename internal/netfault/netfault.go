@@ -43,6 +43,14 @@ type Link struct {
 // perfect reports whether the link is the zero-value perfect link.
 func (l Link) perfect() bool { return l.Latency == nil && l.Loss == 0 && l.Dup == 0 }
 
+// Perfect reports whether the link is the zero-value perfect link:
+// zero latency, no loss, no duplication. Exported for reuse by the
+// ctrlplane layer, which models control links with the same type.
+func (l Link) Perfect() bool { return l.perfect() }
+
+// Validate checks the link's parameters, labelling errors with name.
+func (l Link) Validate(name string) error { return l.validate(name) }
+
 func (l Link) validate(name string) error {
 	if l.Loss < 0 || l.Loss >= 1 {
 		return fmt.Errorf("netfault: %s loss probability %g outside [0,1)", name, l.Loss)

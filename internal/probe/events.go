@@ -76,8 +76,26 @@ const (
 	// policy; value = age in seconds of the recovered dispatch state, -1
 	// when cold-reset recovered nothing).
 	EvDispatcherUp
+	// EvTokenReport is a JIQ idle-token copy delivered over the control
+	// plane (target = computer; cause "accept" or "dedup"; value =
+	// lease expiry, 0 when leases are off).
+	EvTokenReport
+	// EvTokenSpend is an idle token popped and spent on a dispatch
+	// (target = computer; value = lease expiry).
+	EvTokenSpend
+	// EvTokenExpire is an idle token dropped at pop time past its lease
+	// (target = computer; value = the missed expiry).
+	EvTokenExpire
+	// EvQueryTimeout is a dispatch decision that waited out the
+	// control-plane query timeout and fell back to cached state
+	// (target = dispatcher replica; value = wait charged in seconds).
+	EvQueryTimeout
+	// EvSyncFrame is a counter-sync frame arriving at a dispatcher
+	// replica (target = replica; cause "apply" or "stale"; value =
+	// frame version).
+	EvSyncFrame
 
-	numEventKinds = int(EvDispatcherUp) + 1
+	numEventKinds = int(EvSyncFrame) + 1
 )
 
 // kindNames are the wire names, stable across releases (they appear in
@@ -87,6 +105,7 @@ var kindNames = [numEventKinds]string{
 	"retry", "service-start", "evict", "resume", "fail", "repair",
 	"breaker", "sample", "departure", "kill", "drop",
 	"net-loss", "resubmit", "dup-deliver", "dispatcher-down", "dispatcher-up",
+	"token-report", "token-spend", "token-expire", "query-timeout", "sync-frame",
 }
 
 // String returns the event kind's wire name.

@@ -90,6 +90,12 @@ type Probe struct {
 	dispUp       *Series
 	stateAge     *Series
 
+	// Control-plane series, allocated by StartCtrl only when the
+	// ctrlplane layer is active (inert otherwise): control messages in
+	// flight, and the age of cached state served when probes miss.
+	ctrlInFlight *Series
+	ctrlStale    *Series
+
 	// Span layer (see span.go), active only under Options.Spans or a
 	// SpanSink.
 	spanSpeeds     []float64
@@ -263,6 +269,36 @@ func (p *Probe) StartNetfault(now float64) {
 	p.dispUp.Update(now, 1)
 	p.stateAge = p.reg.Series("dispatcher_state_age")
 	p.stateAge.Update(now, 0)
+}
+
+// StartCtrl sizes the control-plane metric series. The simulation calls
+// it after Start, only when the ctrlplane layer is active; otherwise
+// these series never exist.
+func (p *Probe) StartCtrl(now float64) {
+	if !p.opts.Metrics {
+		return
+	}
+	p.ctrlInFlight = p.reg.Series("ctrl_inflight")
+	p.ctrlInFlight.Update(now, 0)
+	p.ctrlStale = p.reg.Series("ctrl_state_age")
+	p.ctrlStale.Update(now, 0)
+}
+
+// SetCtrlInFlight records the number of control-plane messages (tokens,
+// late query replies, sync frames) in transit.
+func (p *Probe) SetCtrlInFlight(t float64, v int) {
+	if p.ctrlInFlight != nil {
+		p.ctrlInFlight.Update(t, float64(v))
+	}
+}
+
+// NoteCtrlStaleness records the age of a cached observation a replica
+// acted on in place of a live probe.
+func (p *Probe) NoteCtrlStaleness(t, age float64) {
+	if p.ctrlStale != nil {
+		p.ctrlStale.Update(t, age)
+		p.ctrlStale.AddPoint(t, age)
+	}
 }
 
 // Emit records one lifecycle event: the per-kind counter always, the
@@ -470,6 +506,10 @@ func (p *Probe) FinishRun(t float64) {
 		}
 		p.dispUp.Finish(t)
 		p.stateAge.Finish(t)
+	}
+	if p.ctrlInFlight != nil {
+		p.ctrlInFlight.Finish(t)
+		p.ctrlStale.Finish(t)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"heterosched/internal/alloc"
 	"heterosched/internal/cluster"
+	"heterosched/internal/ctrlplane"
 	"heterosched/internal/dispatch"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
@@ -54,6 +55,18 @@ type Scalable struct {
 	sharded *dispatch.Sharded
 	jiqs    []*dispatch.JIQ
 	tokenRR uint64
+	prevUp  []bool // availability as of the last UpSetChanged; nil = all up
+
+	// Physical control plane (nil = oracle mode, the PR 9 path).
+	plane *ctrlplane.Plane
+	// tokenHome[i] is the replica computer i's last token report went
+	// to: lease renewals re-report there so the dedup can refresh the
+	// outstanding token instead of duplicating it on another replica.
+	tokenHome []int
+	// renewPending[i] guards against stacking renewal chains for one
+	// computer (a Departed re-report while a chain is live).
+	renewPending []bool
+	pendingCost  float64
 }
 
 var (
@@ -61,6 +74,8 @@ var (
 	_ cluster.StateAware    = (*Scalable)(nil)
 	_ cluster.FaultAware    = (*Scalable)(nil)
 	_ cluster.ShardedPolicy = (*Scalable)(nil)
+	_ cluster.CtrlAware     = (*Scalable)(nil)
+	_ cluster.DecisionCost  = (*Scalable)(nil)
 )
 
 // JSQd returns JSQ(d) with a single dispatcher.
@@ -165,6 +180,9 @@ func (s *Scalable) Init(ctx *cluster.Context) error {
 	}
 	s.sharded = sh
 	s.jiqs = nil
+	s.prevUp = nil
+	s.plane = nil
+	s.pendingCost = 0
 	if s.Kind == ScalableJIQ {
 		s.jiqs = make([]*dispatch.JIQ, s.k())
 		for k := range s.jiqs {
@@ -174,14 +192,49 @@ func (s *Scalable) Init(ctx *cluster.Context) error {
 	return nil
 }
 
+// BindCtrl routes the policy's control traffic through the physical
+// control plane: replica samplers get probing views instead of the
+// oracle (installed in BindState), JIQ token reports travel over the
+// computers' control links with lease renewal, and every decision's
+// probe round-trips are charged via TakeDecisionCost. Called by the run
+// after Init, before BindState, only when the ctrl layer is enabled.
+func (s *Scalable) BindCtrl(p *ctrlplane.Plane) {
+	s.plane = p
+	p.EnsureReplicas(s.k())
+	if s.jiqs != nil {
+		n := len(s.ctx.Speeds)
+		s.tokenHome = make([]int, n)
+		s.renewPending = make([]bool, n)
+		for _, q := range s.jiqs {
+			q.SetClock(p.Now)
+			q.SetTokenHooks(p.NoteTokenSpend, p.NoteTokenExpire, p.NoteTokenDiscard)
+		}
+		p.SetExtantFn(func() int64 {
+			var total int64
+			for _, q := range s.jiqs {
+				total += int64(q.IdleTokens())
+			}
+			return total
+		})
+	}
+}
+
 // BindState installs the queue-state view on every replica and seeds
 // the initial idle tokens (every computer starts idle), distributed
-// round-robin across the JIQ replicas.
+// round-robin across the JIQ replicas. s.view always keeps the oracle
+// view — it models computer-side knowledge (a computer knows when it
+// goes idle); with the control plane bound, the replicas' samplers
+// instead observe through per-replica probing views, so the dispatcher
+// side acts on stale, lossy state.
 func (s *Scalable) BindState(view cluster.StateView) {
 	s.view = view
 	for k := 0; k < s.sharded.K(); k++ {
 		if sb, ok := s.sharded.Replica(k).(dispatch.StateBound); ok {
-			sb.Bind(view)
+			if s.plane != nil {
+				sb.Bind(s.plane.View(k))
+			} else {
+				sb.Bind(view)
+			}
 		}
 	}
 	for i := 0; i < view.N(); i++ {
@@ -191,22 +244,80 @@ func (s *Scalable) BindState(view cluster.StateView) {
 
 // reportIdle hands computer i's idle token to the next JIQ replica
 // round-robin, the decentralized token placement of the JIQ design.
+// With the control plane bound the report is a physical message:
+// delivery is delayed, possibly lost or duplicated, the installed token
+// carries a lease, and while the computer stays idle it re-reports on
+// the lease cadence so a lost token is eventually replaced.
 func (s *Scalable) reportIdle(i int) {
 	if s.jiqs == nil {
 		return
 	}
 	k := int(s.tokenRR % uint64(len(s.jiqs)))
 	s.tokenRR++
-	s.jiqs[k].ReportIdle(i)
+	if s.plane == nil {
+		s.jiqs[k].ReportIdle(i)
+		return
+	}
+	s.tokenHome[i] = k
+	s.sendToken(i, k)
+}
+
+// sendToken ships computer i's idle report to replica k over the
+// control plane and arms the lease-renewal chain.
+func (s *Scalable) sendToken(i, k int) {
+	q := s.jiqs[k]
+	s.plane.SendToken(i, func(expiry float64) bool {
+		return q.ReportIdleLease(i, expiry)
+	})
+	lease := s.plane.Lease()
+	if lease <= 0 || s.renewPending[i] {
+		return
+	}
+	en := s.ctx.Engine
+	if en == nil || en.Now()+lease > s.plane.Horizon() {
+		return
+	}
+	s.renewPending[i] = true
+	en.ScheduleAfter(lease, func() {
+		s.renewPending[i] = false
+		// Re-report only while the computer is still idle (its own
+		// ground truth, not the dispatcher's view) and to the same
+		// replica, so an undelivered or expired token is replaced and a
+		// live one merely has its lease refreshed by the dedup.
+		if s.view != nil && s.view.QueueLen(i) == 0 {
+			s.sendToken(i, s.tokenHome[i])
+		}
+	})
 }
 
 // Select routes the arrival to a dispatcher replica and delegates the
-// sampling decision to it.
+// sampling decision to it. With the control plane bound, the probes the
+// replica issues during the decision accumulate their round-trip cost,
+// which the run collects through TakeDecisionCost.
 func (s *Scalable) Select(j *sim.Job) int {
-	if s.ShardBy == dispatch.ShardHash {
-		return s.sharded.NextFor(j.ID)
+	if s.plane == nil {
+		if s.ShardBy == dispatch.ShardHash {
+			return s.sharded.NextFor(j.ID)
+		}
+		return s.sharded.Next()
 	}
-	return s.sharded.Next()
+	s.plane.BeginDecision()
+	var target int
+	if s.ShardBy == dispatch.ShardHash {
+		target = s.sharded.NextFor(j.ID)
+	} else {
+		target = s.sharded.Next()
+	}
+	s.pendingCost = s.plane.EndDecision(s.sharded.LastReplica())
+	return target
+}
+
+// TakeDecisionCost returns the control-plane wait accumulated by the
+// most recent Select and resets it (cluster.DecisionCost).
+func (s *Scalable) TakeDecisionCost() float64 {
+	c := s.pendingCost
+	s.pendingCost = 0
+	return c
 }
 
 // Departed reports an idle token when the departure left the computer
@@ -222,11 +333,30 @@ func (s *Scalable) Departed(j *sim.Job) {
 
 // UpSetChanged masks every replica. With all computers up the mask is
 // cleared; with none up the replicas keep their previous mask (same
-// keep-previous semantics as the static policies).
+// keep-previous semantics as the static policies). For JIQ, a repaired
+// computer that is idle and whose token is gone — discarded at pop
+// while it was down, or its idle report lost while it was unreachable —
+// is re-issued exactly one token, placed round-robin like any other
+// report. (Re-issuing inside each replica's SetUp minted one token per
+// replica and missed the repair-to-all-up transition, where the mask
+// arrives as nil.)
 func (s *Scalable) UpSetChanged(up []bool) {
 	if s.sharded == nil || len(up) != len(s.ctx.Speeds) {
 		return
 	}
+	// Diff against the previous availability before masking: the newly
+	// repaired computers are the re-issue candidates. prevUp == nil
+	// means all-up, so nothing counts as newly repaired.
+	var repaired []int
+	if s.prevUp != nil && s.jiqs != nil {
+		for i, u := range up {
+			if u && !s.prevUp[i] {
+				repaired = append(repaired, i)
+			}
+		}
+	}
+	s.prevUp = append(s.prevUp[:0], up...)
+
 	nUp := 0
 	for _, u := range up {
 		if u {
@@ -240,6 +370,21 @@ func (s *Scalable) UpSetChanged(up []bool) {
 		_ = s.sharded.SetUp(nil)
 	default:
 		_ = s.sharded.SetUp(up)
+	}
+	for _, i := range repaired {
+		if s.view == nil || s.view.QueueLen(i) != 0 {
+			continue
+		}
+		held := false
+		for _, q := range s.jiqs {
+			if q.HasToken(i) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			s.reportIdle(i)
+		}
 	}
 }
 

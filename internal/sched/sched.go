@@ -19,6 +19,7 @@ import (
 
 	"heterosched/internal/alloc"
 	"heterosched/internal/cluster"
+	"heterosched/internal/ctrlplane"
 	"heterosched/internal/dispatch"
 	"heterosched/internal/rng"
 	"heterosched/internal/sim"
@@ -143,12 +144,25 @@ type Static struct {
 	staleFallbacks int64
 	// replans counts successful Replan applications.
 	replans int64
+
+	// Physical counter-sync (nil plane = instantaneous SyncNow, the
+	// PR 9 path). Each sync tick sends one versioned frame per Syncer
+	// replica to its ring successor over the control plane; receivers
+	// reject stale or duplicate versions, so a partitioned replica
+	// degrades to its private counters and rejoins monotonically when
+	// frames flow again.
+	plane   *ctrlplane.Plane
+	syncVer uint64
+	// syncSeen[to*K+from] is the highest frame version receiver `to`
+	// has accepted from sender `from`.
+	syncSeen []uint64
 }
 
 var _ cluster.Policy = (*Static)(nil)
 var _ cluster.FractionProvider = (*Static)(nil)
 var _ cluster.FaultAware = (*Static)(nil)
 var _ cluster.Replannable = (*Static)(nil)
+var _ cluster.CtrlAware = (*Static)(nil)
 
 // Name returns the policy label (e.g. "ORR" for optimized allocation with
 // round-robin dispatch).
@@ -169,6 +183,12 @@ func (s *Static) Name() string {
 // studies instead of failing with alloc.ErrInfeasible.
 func (s *Static) Init(ctx *cluster.Context) error {
 	s.ctx = ctx
+	// BindCtrl (when the run has a control plane) arrives after Init;
+	// resetting here keeps a policy value reused across replications
+	// from carrying a dead plane or frame versions into a ctrl-off run.
+	s.plane = nil
+	s.syncVer = 0
+	s.syncSeen = nil
 	// Derived once and reused across dispatcher rebuilds (UpSetChanged),
 	// so the random-dispatch sequence continues instead of restarting.
 	// Derivation does not consume parent stream state.
@@ -237,7 +257,12 @@ func (s *Static) scheduleSync() {
 	var tick func()
 	tick = func() {
 		if sh := s.sharded; sh != nil {
-			if sh.SyncNow() > 1 {
+			// The tick branches on the plane at fire time, not install
+			// time: BindCtrl arrives after Init (which installs this
+			// chain), and the same chain must serve both modes.
+			if s.plane != nil {
+				s.physicalSyncRound(sh)
+			} else if sh.SyncNow() > 1 {
 				s.syncs++
 			}
 		}
@@ -250,7 +275,73 @@ func (s *Static) scheduleSync() {
 	}
 }
 
-// Syncs returns how many counter-sync rounds actually exchanged state.
+// BindCtrl routes counter-sync exchanges through the physical control
+// plane (cluster.CtrlAware): instead of the instantaneous all-pairs
+// SyncNow, each tick sends one versioned frame per participating replica
+// to its ring successor, subject to the plane's sync-link faults.
+func (s *Static) BindCtrl(p *ctrlplane.Plane) {
+	s.plane = p
+	if s.Dispatchers > 1 {
+		p.EnsureReplicas(s.Dispatchers)
+		s.syncSeen = make([]uint64, s.Dispatchers*s.Dispatchers)
+	}
+}
+
+// physicalSyncRound runs one control-plane gossip round: every replica
+// whose dispatcher participates in counter-sync snapshots its state and
+// sends it to the next participant around the ring. Frames ride
+// plane.SendSync, so a partition blocks the exchange at send time and
+// the isolated replica keeps dispatching on its private counters.
+func (s *Static) physicalSyncRound(sh *dispatch.Sharded) {
+	type share struct {
+		k      int
+		assign []int64
+		next   []float64
+	}
+	var frames []share
+	for k := 0; k < sh.K(); k++ {
+		if a, nx, ok := sh.SyncShareOf(k); ok {
+			frames = append(frames, share{k, a, nx})
+		}
+	}
+	if len(frames) < 2 {
+		return
+	}
+	s.syncVer++
+	ver := s.syncVer
+	for idx, f := range frames {
+		to := frames[(idx+1)%len(frames)].k
+		from, a, nx := f.k, f.assign, f.next
+		s.plane.SendSync(from, to, func() {
+			s.applySyncFrame(to, from, ver, a, nx)
+		})
+	}
+}
+
+// applySyncFrame is the receiver side of a gossip frame, running at the
+// frame's (possibly delayed, duplicated, or reordered) delivery time.
+// Versions are monotonic per (receiver, sender) edge: a frame at or
+// below the last accepted version is rejected, which both dedups
+// duplicated deliveries and makes a partitioned replica's rejoin
+// monotonic — it never blends state older than what it already absorbed.
+func (s *Static) applySyncFrame(to, from int, ver uint64, assign []int64, next []float64) {
+	sh := s.sharded
+	if sh == nil || s.plane == nil || len(s.syncSeen) != s.Dispatchers*s.Dispatchers {
+		return
+	}
+	idx := to*s.Dispatchers + from
+	if ver <= s.syncSeen[idx] {
+		s.plane.NoteSyncStale(to, ver)
+		return
+	}
+	s.syncSeen[idx] = ver
+	sh.SyncBlend(to, assign, next)
+	s.plane.NoteSyncApplied(to, ver)
+	s.syncs++
+}
+
+// Syncs returns how many counter-sync rounds actually exchanged state
+// (with a control plane: how many individual frames were applied).
 func (s *Static) Syncs() int64 { return s.syncs }
 
 // Shards returns the dispatcher replica count K (cluster.ShardedPolicy).

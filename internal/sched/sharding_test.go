@@ -14,6 +14,7 @@ import (
 type fakeState []int
 
 func (v fakeState) QueueLen(i int) int { return v[i] }
+func (v fakeState) Age(int) float64    { return 0 }
 func (v fakeState) N() int             { return len(v) }
 
 // TestGoldenShardingOff extends the golden lock to the sharding
